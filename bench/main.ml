@@ -1,0 +1,26 @@
+(* Benchmark harness entry point: `main.exe` regenerates every table and
+   figure of the paper's evaluation; `main.exe <experiment>` runs one. *)
+
+let experiments =
+  [ ("fig5", Experiments.fig5); ("fig6", Experiments.fig6); ("fig7", Experiments.fig7);
+    ("fig8", Experiments.fig8); ("fig8-fleet", Experiments.fig8_fleet); ("fig9", Experiments.fig9); ("fig10", Experiments.fig10);
+    ("fig11", Experiments.fig11); ("exploits", Experiments.exploits);
+    ("ablation", Experiments.ablation); ("bechamel", Micro.run) ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+    print_endline "Dapper reproduction: running the full evaluation\n";
+    Experiments.all ();
+    Micro.run ()
+  | _ :: names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+      names
+  | [] -> assert false

@@ -1,0 +1,85 @@
+(* Bechamel micro-benchmarks: one Test.make per table/figure, measuring
+   the core operation that experiment exercises (wall-clock of the real
+   OCaml implementation, not the simulated cost model). *)
+
+open Bechamel
+open Toolkit
+open Dapper_machine
+open Dapper_workloads
+open Dapper
+open Dapper_security
+open Dapper_cluster
+module Link = Dapper_codegen.Link
+
+let fixture () =
+  let c = Registry.compiled (Registry.find "npb-cg.A") in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:400_000);
+  (match Monitor.request_pause p ~budget:40_000_000 with
+   | Ok _ -> ()
+   | Error e -> failwith (Monitor.error_to_string e));
+  let image = Dapper_criu.Dump.dump p in
+  (c, p, image)
+
+let tests () =
+  let c, p, image = fixture () in
+  let image_arm, _ = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
+  let kinds =
+    [ { Scheduler.jk_name = "cg"; jk_xeon_ms = 9000.0; jk_rpi_ms = 25000.0;
+        jk_migration_ms = 1500.0 } ]
+  in
+  let cfg =
+    { Scheduler.c_window_ms = Scheduler.default_window_ms; c_xeon_slots = 7; c_rpis = 3;
+      c_rpi_slots_each = 3 }
+  in
+  Test.make_grouped ~name:"dapper" ~fmt:"%s/%s"
+    [ Test.make ~name:"fig5-criu-dump" (Staged.stage (fun () ->
+          ignore (Dapper_criu.Dump.dump p)));
+      Test.make ~name:"fig5-unwind" (Staged.stage (fun () ->
+          ignore
+            (Unwind.unwind_all image c.Link.cp_x86.bin_stackmaps
+               ~anchors:c.Link.cp_x86.bin_anchors)));
+      Test.make ~name:"fig5-rewrite-x86-to-arm" (Staged.stage (fun () ->
+          ignore (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm)));
+      Test.make ~name:"fig5-criu-restore" (Staged.stage (fun () ->
+          ignore (Dapper_criu.Restore.restore image_arm c.Link.cp_arm)));
+      Test.make ~name:"fig6-interp-100k-instrs" (Staged.stage (fun () ->
+          let q = Process.load c.Link.cp_arm in
+          ignore (Process.run q ~max_instrs:100_000)));
+      Test.make ~name:"fig7-crit-decode-encode" (Staged.stage (fun () ->
+          List.iter
+            (fun (name, bytes) ->
+              if name <> "pages-1.img" then
+                ignore
+                  (Dapper_criu.Crit.encode_file name
+                     (Dapper_criu.Crit.decode_file name bytes)))
+            (Dapper_criu.Images.to_files image)));
+      Test.make ~name:"fig8-scheduler-30min" (Staged.stage (fun () ->
+          ignore (Scheduler.run cfg kinds)));
+      Test.make ~name:"fig9-shuffle-sbi" (Staged.stage (fun () ->
+          ignore (Shuffle.shuffle_binary (Dapper_util.Rng.create 1L) c.Link.cp_x86)));
+      Test.make ~name:"fig10-entropy" (Staged.stage (fun () ->
+          let _, stats = Shuffle.shuffle_binary (Dapper_util.Rng.create 2L) c.Link.cp_arm in
+          ignore (Shuffle.average_bits stats)));
+      Test.make ~name:"fig11-gadget-scan" (Staged.stage (fun () ->
+          ignore (Gadgets.scan c.Link.cp_x86))) ]
+
+let run () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "== Bechamel micro-benchmarks (monotonic clock per run) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Printf.sprintf "%.0f ns" est
+        | _ -> "n/a"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  Dapper_util.Tbl.print ~title:"micro" ~header:[ "operation"; "time/run" ]
+    (List.sort compare !rows)

@@ -1,0 +1,39 @@
+(* Energy-efficient batch processing on a heterogeneous cluster: when the
+   Xeon is oversubscribed, Dapper evicts jobs to Raspberry Pi boards
+   (paper Section IV-A-b / Fig. 8).
+
+   Run with: dune exec examples/heterogeneous_cluster.exe *)
+
+open Dapper_cluster
+
+let () =
+  (* job costs as measured by bench/main.exe fig8 on the simulator *)
+  let kinds =
+    [ { Scheduler.jk_name = "npb-ep.B"; jk_xeon_ms = 58_557.0; jk_rpi_ms = 163_000.0;
+        jk_migration_ms = 269.0 };
+      { Scheduler.jk_name = "npb-cg.B"; jk_xeon_ms = 74_866.0; jk_rpi_ms = 210_000.0;
+        jk_migration_ms = 745.0 };
+      { Scheduler.jk_name = "npb-mg.B"; jk_xeon_ms = 93_820.0; jk_rpi_ms = 267_000.0;
+        jk_migration_ms = 1652.0 };
+      { Scheduler.jk_name = "npb-ft.B"; jk_xeon_ms = 37_470.0; jk_rpi_ms = 105_000.0;
+        jk_migration_ms = 617.0 } ]
+  in
+  let cfg rpis =
+    { Scheduler.c_window_ms = Scheduler.default_window_ms; c_xeon_slots = 7;
+      c_rpis = rpis; c_rpi_slots_each = 3 }
+  in
+  let base = Scheduler.run (cfg 0) kinds in
+  Printf.printf "30-minute batch window, infinite NPB class-B job queue\n\n";
+  List.iter
+    (fun rpis ->
+      let r = Scheduler.run (cfg rpis) kinds in
+      Printf.printf
+        "%-14s %3d jobs (%3d evicted to Pis)  %6.1f kJ  %.3f jobs/kJ"
+        (if rpis = 0 then "xeon only" else Printf.sprintf "xeon + %d Pi(s)" rpis)
+        r.Scheduler.r_jobs_done r.r_jobs_rpi r.r_energy_kj r.r_jobs_per_kj;
+      if rpis > 0 then
+        Printf.printf "  (efficiency %+.1f%%, throughput %+.1f%%)"
+          (Scheduler.efficiency_gain_pct ~baseline:base ~subject:r)
+          (Scheduler.throughput_gain_pct ~baseline:base ~subject:r);
+      print_newline ())
+    [ 0; 1; 3 ]

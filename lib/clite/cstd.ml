@@ -1,0 +1,159 @@
+open Cl
+open Dapper_ir
+
+let add_math m =
+  (* x^n for integer n >= 0 *)
+  func m "fpow_i" [ ("x", Ir.F64); ("n", Ir.I64) ] (fun b ->
+      declf b "acc" (f 1.0);
+      declf b "base" (v "x");
+      decl b "e" (v "n");
+      while_ b (gt (v "e") (i 0)) (fun b ->
+          if_ b (ne (band (v "e") (i 1)) (i 0)) (fun b ->
+              set b "acc" (fmul (v "acc") (v "base")));
+          set b "base" (fmul (v "base") (v "base"));
+          set b "e" (shr (v "e") (i 1)));
+      ret b (v "acc"));
+  (* exp via integer/fraction split and a 14-term Taylor series *)
+  func m "fexp" [ ("x", Ir.F64) ] (fun b ->
+      if_ b (flt (v "x") (f 0.0)) (fun b ->
+          ret b (fdiv (f 1.0) (callf "fexp" [ fneg (v "x") ])));
+      decl b "n" (f2i (v "x"));
+      declf b "r" (fsub (v "x") (i2f (v "n")));
+      declf b "s" (f 1.0);
+      declf b "term" (f 1.0);
+      for_ b "k" (i 1) (i 15) (fun b ->
+          set b "term" (fdiv (fmul (v "term") (v "r")) (i2f (v "k")));
+          set b "s" (fadd (v "s") (v "term")));
+      ret b (fmul (v "s") (callf "fpow_i" [ f 2.718281828459045; v "n" ])));
+  (* ln via range reduction to [0.5, 2] + atanh series *)
+  func m "fln" [ ("x", Ir.F64) ] (fun b ->
+      declf b "y" (v "x");
+      declf b "acc" (f 0.0);
+      while_ b (flt (f 2.0) (v "y")) (fun b ->
+          set b "y" (fdiv (v "y") (f 2.0));
+          set b "acc" (fadd (v "acc") (f 0.6931471805599453)));
+      while_ b (flt (v "y") (f 0.5)) (fun b ->
+          set b "y" (fmul (v "y") (f 2.0));
+          set b "acc" (fsub (v "acc") (f 0.6931471805599453)));
+      declf b "t" (fdiv (fsub (v "y") (f 1.0)) (fadd (v "y") (f 1.0)));
+      declf b "t2" (fmul (v "t") (v "t"));
+      declf b "s" (f 0.0);
+      declf b "pw" (v "t");
+      for_ b "k" (i 0) (i 14) (fun b ->
+          set b "s" (fadd (v "s") (fdiv (v "pw") (i2f (add (mul (v "k") (i 2)) (i 1))))); 
+          set b "pw" (fmul (v "pw") (v "t2")));
+      ret b (fadd (v "acc") (fmul (f 2.0) (v "s"))))
+
+let add_trig m =
+  (* sin via range reduction to [-pi, pi] + Taylor series *)
+  func m "fsin" [ ("x", Ir.F64) ] (fun b ->
+      declf b "y" (v "x");
+      while_ b (flt (f 3.14159265358979) (v "y")) (fun b ->
+          set b "y" (fsub (v "y") (f 6.283185307179586)));
+      while_ b (flt (v "y") (f (-3.14159265358979))) (fun b ->
+          set b "y" (fadd (v "y") (f 6.283185307179586)));
+      declf b "y2" (fmul (v "y") (v "y"));
+      declf b "term" (v "y");
+      declf b "s" (v "y");
+      for_ b "k" (i 1) (i 10) (fun b ->
+          decl b "d" (mul (mul (v "k") (i 2)) (add (mul (v "k") (i 2)) (i 1)));
+          set b "term" (fneg (fdiv (fmul (v "term") (v "y2")) (i2f (v "d"))));
+          set b "s" (fadd (v "s") (v "term")));
+      ret b (v "s"));
+  func m "fcos" [ ("x", Ir.F64) ] (fun b ->
+      ret b (callf "fsin" [ fadd (v "x") (f 1.5707963267948966) ]))
+
+let add_rand m =
+  global m "__rand_state" 8;
+  func m "rand_seed" [ ("s", Ir.I64) ] (fun b ->
+      set b "__rand_state" (add (mul (v "s") (i 2654435761)) (i 1));
+      ret b (i 0));
+  func m "rand_next" [] (fun b ->
+      set b "__rand_state"
+        (add (mul (v "__rand_state") (i64 6364136223846793005L)) (i64 1442695040888963407L));
+      ret b (band (shr (v "__rand_state") (i 11)) (i64 0x3FFFFFFFFFFFFL)));
+  func m "frand" [] (fun b ->
+      ret b (fdiv (i2f (call "rand_next" [])) (f 1125899906842624.0)))
+
+let add m =
+  func m "print_str" [ ("p", Ir.Ptr); ("len", Ir.I64) ] (fun b ->
+      do_ b (call "write" [ i 1; v "p"; v "len" ]));
+  (* print_int: format into a stack buffer from the right. The buffer's
+     address is taken, so it stays in the frame — one of the shuffled
+     allocations in every program that prints. *)
+  func m "print_int" [ ("n", Ir.I64) ] (fun b ->
+      decl_arr b "buf" 4;
+      decl b "x" (v "n");
+      decl b "pos" (i 31);
+      if_ b (eq (v "x") (i 0)) (fun b ->
+          store8 b (addr "buf") (i 48);
+          do_ b (call "write" [ i 1; addr "buf"; i 1 ]);
+          ret b (i 0));
+      decl b "neg" (i 0);
+      if_ b (lt (v "x") (i 0)) (fun b ->
+          set b "neg" (i 1);
+          set b "x" (neg (v "x")));
+      while_ b (gt (v "x") (i 0)) (fun b ->
+          store_idx8 b (addr "buf") (v "pos") (add (i 48) (rem_ (v "x") (i 10)));
+          set b "x" (div_ (v "x") (i 10));
+          set b "pos" (sub (v "pos") (i 1)));
+      if_ b (ne (v "neg") (i 0)) (fun b ->
+          store_idx8 b (addr "buf") (v "pos") (i 45);
+          set b "pos" (sub (v "pos") (i 1)));
+      do_ b
+        (call "write"
+           [ i 1; add (addr "buf") (add (v "pos") (i 1)); sub (i 31) (v "pos") ]));
+  (* print_flt: sign, integer part, '.', three decimals. *)
+  func m "print_flt" [ ("x", Ir.F64) ] (fun b ->
+      declf b "y" (v "x");
+      if_ b (flt (v "y") (f 0.0)) (fun b ->
+          decl_arr b "minus" 1;
+          store8 b (addr "minus") (i 45);
+          do_ b (call "write" [ i 1; addr "minus"; i 1 ]);
+          set b "y" (fneg (v "y")));
+      decl b "ip" (f2i (v "y"));
+      do_ b (call "print_int" [ v "ip" ]);
+      decl_arr b "dot" 1;
+      store8 b (addr "dot") (i 46);
+      do_ b (call "write" [ i 1; addr "dot"; i 1 ]);
+      decl b "frac" (f2i (fmul (fsub (v "y") (i2f (v "ip"))) (f 1000.0)));
+      (* left-pad the fractional part to three digits *)
+      decl_arr b "fb" 1;
+      if_ b (lt (v "frac") (i 100)) (fun b ->
+          store8 b (addr "fb") (i 48);
+          do_ b (call "write" [ i 1; addr "fb"; i 1 ]));
+      if_ b (lt (v "frac") (i 10)) (fun b ->
+          store8 b (addr "fb") (i 48);
+          do_ b (call "write" [ i 1; addr "fb"; i 1 ]));
+      do_ b (call "print_int" [ v "frac" ]));
+  func m "print_nl" [] (fun b ->
+      decl_arr b "nl" 1;
+      store8 b (addr "nl") (i 10);
+      do_ b (call "write" [ i 1; addr "nl"; i 1 ]));
+  func m "abs64" [ ("n", Ir.I64) ] (fun b ->
+      if_ b (lt (v "n") (i 0)) (fun b -> ret b (neg (v "n")));
+      ret b (v "n"));
+  func m "min64" [ ("a", Ir.I64); ("b", Ir.I64) ] (fun b ->
+      if_ b (lt (v "a") (v "b")) (fun b -> ret b (v "a"));
+      ret b (v "b"));
+  func m "max64" [ ("a", Ir.I64); ("b", Ir.I64) ] (fun b ->
+      if_ b (gt (v "a") (v "b")) (fun b -> ret b (v "a"));
+      ret b (v "b"));
+  func m "memset8" [ ("p", Ir.Ptr); ("c", Ir.I64); ("len", Ir.I64) ] (fun b ->
+      for_ b "k" (i 0) (v "len") (fun b ->
+          store_idx8 b (v "p") (v "k") (v "c")));
+  func m "memcpy8" [ ("dst", Ir.Ptr); ("src", Ir.Ptr); ("len", Ir.I64) ] (fun b ->
+      for_ b "k" (i 0) (v "len") (fun b ->
+          store_idx8 b (v "dst") (v "k") (idx8 (v "src") (v "k"))));
+  func m "strlen8" [ ("p", Ir.Ptr) ] (fun b ->
+      decl b "k" (i 0);
+      while_ b (ne (idx8 (v "p") (v "k")) (i 0)) (fun b ->
+          set b "k" (add (v "k") (i 1)));
+      ret b (v "k"));
+  add_math m;
+  add_trig m;
+  add_rand m
+
+let print b m s =
+  let name = str_lit m s in
+  do_ b (call "print_str" [ addr name; i (String.length s) ])

@@ -1,0 +1,22 @@
+(** A small clite standard library added to workload modules.
+
+    Provides formatted output on top of the raw [write] syscall so that
+    benchmark programs produce verifiable stdout (the cross-ISA migration
+    tests compare stdout byte-for-byte against native runs):
+
+    - [print_str(ptr, len)] — raw bytes
+    - [print_int(n)]        — decimal, no newline
+    - [print_flt(x)]        — fixed-point with 3 decimals
+    - [print_nl()]          — newline
+    - [abs64(n)], [min64], [max64] — arithmetic helpers
+    - [memset8(p, byte, len)], [memcpy8(dst, src, len)] — byte ops
+    - [strlen8(p)] — length of a NUL-terminated byte string
+    - [fexp(x)], [fln(x)] — exp and natural log (series approximations)
+    - [fpow_i(x, n)] — x to an integer power
+    - [fsin(x)], [fcos(x)] — trigonometry (Taylor series)
+    - [rand_seed(s)], [rand_next()], [frand()] — per-program LCG *)
+
+val add : Cl.mb -> unit
+
+(** [print b mb s] emits a statement printing literal [s]. *)
+val print : Cl.fnb -> Cl.mb -> string -> unit

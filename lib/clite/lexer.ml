@@ -1,0 +1,178 @@
+type token =
+  | INT of int64
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keywords =
+  [ "fn"; "var"; "arr"; "global"; "tls"; "if"; "else"; "while"; "for"; "break";
+    "continue"; "return"; "f"; "ptr" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Two-character operators first, then single characters. *)
+let punct2 = [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; ".[" ]
+let punct1 = [ "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "("; ")"; "{"; "}"; "[";
+               "]"; ";"; ","; "&"; "|"; "^"; "!"; ":" ]
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek c k = if c.pos + k < String.length c.src then Some c.src.[c.pos + k] else None
+
+let advance c =
+  (match peek c 0 with
+   | Some '\n' ->
+     c.line <- c.line + 1;
+     c.col <- 1
+   | Some _ -> c.col <- c.col + 1
+   | None -> ());
+  c.pos <- c.pos + 1
+
+let error c msg = raise (Lex_error (msg, c.line, c.col))
+
+let rec skip_trivia c =
+  match (peek c 0, peek c 1) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+    advance c;
+    skip_trivia c
+  | Some '/', Some '/' ->
+    while peek c 0 <> None && peek c 0 <> Some '\n' do advance c done;
+    skip_trivia c
+  | Some '/', Some '*' ->
+    advance c;
+    advance c;
+    let rec close () =
+      match (peek c 0, peek c 1) with
+      | Some '*', Some '/' ->
+        advance c;
+        advance c
+      | Some _, _ ->
+        advance c;
+        close ()
+      | None, _ -> error c "unterminated comment"
+    in
+    close ();
+    skip_trivia c
+  | _ -> ()
+
+let lex_number c =
+  let start = c.pos in
+  let is_hex = peek c 0 = Some '0' && (peek c 1 = Some 'x' || peek c 1 = Some 'X') in
+  if is_hex then begin
+    advance c;
+    advance c;
+    while (match peek c 0 with
+           | Some ch -> is_digit ch || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')
+           | None -> false)
+    do advance c done;
+    INT (Int64.of_string (String.sub c.src start (c.pos - start)))
+  end
+  else begin
+    while (match peek c 0 with Some ch -> is_digit ch | None -> false) do advance c done;
+    let is_float =
+      peek c 0 = Some '.'
+      && (match peek c 1 with Some ch -> is_digit ch | None -> false)
+    in
+    if is_float then begin
+      advance c;
+      while (match peek c 0 with Some ch -> is_digit ch | None -> false) do advance c done;
+      (match peek c 0 with
+       | Some ('e' | 'E') ->
+         advance c;
+         (match peek c 0 with Some ('+' | '-') -> advance c | _ -> ());
+         while (match peek c 0 with Some ch -> is_digit ch | None -> false) do advance c done
+       | _ -> ());
+      FLOAT (float_of_string (String.sub c.src start (c.pos - start)))
+    end
+    else INT (Int64.of_string (String.sub c.src start (c.pos - start)))
+  end
+
+let lex_string c =
+  advance c; (* opening quote *)
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c 0 with
+    | None -> error c "unterminated string literal"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c 0 with
+       | Some 'n' -> Buffer.add_char b '\n'
+       | Some 't' -> Buffer.add_char b '\t'
+       | Some 'r' -> Buffer.add_char b '\r'
+       | Some '0' -> Buffer.add_char b '\000'
+       | Some '\\' -> Buffer.add_char b '\\'
+       | Some '"' -> Buffer.add_char b '"'
+       | _ -> error c "bad escape");
+      advance c;
+      go ()
+    | Some ch ->
+      Buffer.add_char b ch;
+      advance c;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents b)
+
+let tokenize src =
+  let c = { src; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit tok line col = out := { tok; line; col } :: !out in
+  let rec go () =
+    skip_trivia c;
+    let line = c.line and col = c.col in
+    match peek c 0 with
+    | None -> emit EOF line col
+    | Some ch when is_digit ch ->
+      emit (lex_number c) line col;
+      go ()
+    | Some ch when is_ident_start ch ->
+      let start = c.pos in
+      while (match peek c 0 with Some ch -> is_ident_char ch | None -> false) do
+        advance c
+      done;
+      let s = String.sub c.src start (c.pos - start) in
+      emit (if List.mem s keywords then KW s else IDENT s) line col;
+      go ()
+    | Some '"' ->
+      emit (lex_string c) line col;
+      go ()
+    | Some _ ->
+      let two =
+        if c.pos + 2 <= String.length c.src then Some (String.sub c.src c.pos 2) else None
+      in
+      (match two with
+       | Some t2 when List.mem t2 punct2 ->
+         advance c;
+         advance c;
+         emit (PUNCT t2) line col;
+         go ()
+       | _ ->
+         let one = String.make 1 c.src.[c.pos] in
+         if List.mem one punct1 then begin
+           advance c;
+           emit (PUNCT one) line col;
+           go ()
+         end
+         else error c (Printf.sprintf "unexpected character %C" c.src.[c.pos]))
+  in
+  go ();
+  List.rev !out
+
+let token_to_string = function
+  | INT v -> Int64.to_string v
+  | FLOAT v -> string_of_float v
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

@@ -1,0 +1,21 @@
+(** Lexer for the clite surface syntax (see {!Parse}). *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW of string          (** fn var arr global tls if else while for
+                              break continue return f ptr *)
+  | PUNCT of string       (** operators and delimiters *)
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+(** Tokenize a whole source string. [//] and [/* */] comments are
+    skipped. *)
+val tokenize : string -> located list
+
+val token_to_string : token -> string

@@ -1,0 +1,701 @@
+open Lexer
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ----- surface AST ----- *)
+
+type pexpr =
+  | PInt of int64
+  | PFloat of float
+  | PStr of string
+  | PVar of string
+  | PAddr of string
+  | PUn of string * pexpr
+  | PBin of string * pexpr * pexpr
+  | PIdx of pexpr * pexpr
+  | PIdx8 of pexpr * pexpr
+  | PCall of string * pexpr list
+
+type decl_kind = DInt | DFlt | DPtr | DFptr
+
+type pstmt =
+  | SVar of decl_kind * string * pexpr
+  | SArr of bool * string * int           (* float?, name, elems *)
+  | SAssign of string * pexpr
+  | SStoreIdx of pexpr * pexpr * pexpr
+  | SStoreIdx8 of pexpr * pexpr * pexpr
+  | SStoreMem of pexpr * pexpr
+  | SIf of pexpr * pstmt list * pstmt list
+  | SWhile of pexpr * pstmt list
+  | SFor of string * pexpr * pexpr * pstmt list  (* canonical counting loop *)
+  | SBreak
+  | SContinue
+  | SReturn of pexpr option
+  | SExpr of pexpr
+
+type pfunc = {
+  pf_name : string;
+  pf_params : (decl_kind * string) list;
+  pf_ret : decl_kind;
+  pf_body : pstmt list;
+}
+
+type ptop =
+  | TGlobal of bool * string * int * int64 option  (* float?, name, elems, init *)
+  | TTls of string
+  | TFunc of pfunc
+
+(* ----- token stream ----- *)
+
+type stream = { toks : located array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+let tok st = (cur st).tok
+
+let perr st fmt =
+  let { line; col; _ } = cur st in
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d, col %d: %s" line col s)))
+    fmt
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let eat st t =
+  if tok st = t then advance st
+  else perr st "expected %s, found %s" (token_to_string t) (token_to_string (tok st))
+
+let eat_punct st s = eat st (PUNCT s)
+
+let ident st =
+  match tok st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> perr st "expected identifier, found %s" (token_to_string t)
+
+let accept st t =
+  if tok st = t then begin
+    advance st;
+    true
+  end
+  else false
+
+(* ----- expression parsing (precedence climbing) ----- *)
+
+let binop_levels =
+  [ [ "||" ]; [ "&&" ]; [ "|" ]; [ "^" ]; [ "&" ]; [ "=="; "!=" ];
+    [ "<"; "<="; ">"; ">=" ]; [ "<<"; ">>" ]; [ "+"; "-" ]; [ "*"; "/"; "%" ] ]
+
+let rec parse_expr st = parse_level st 0
+
+and parse_level st lvl =
+  if lvl >= List.length binop_levels then parse_unary st
+  else begin
+    let ops = List.nth binop_levels lvl in
+    let lhs = ref (parse_level st (lvl + 1)) in
+    let continue = ref true in
+    while !continue do
+      match tok st with
+      | PUNCT op when List.mem op ops ->
+        advance st;
+        let rhs = parse_level st (lvl + 1) in
+        lhs := PBin (op, !lhs, rhs)
+      | _ -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  match tok st with
+  | PUNCT "-" ->
+    advance st;
+    PUn ("-", parse_unary st)
+  | PUNCT "!" ->
+    advance st;
+    PUn ("!", parse_unary st)
+  | PUNCT "*" ->
+    advance st;
+    PUn ("*", parse_unary st)
+  | PUNCT "&" ->
+    advance st;
+    PAddr (ident st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let base = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match tok st with
+    | PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      eat_punct st "]";
+      base := PIdx (!base, idx)
+    | PUNCT ".[" ->
+      advance st;
+      let idx = parse_expr st in
+      eat_punct st "]";
+      base := PIdx8 (!base, idx)
+    | _ -> continue := false
+  done;
+  !base
+
+and parse_primary st =
+  match tok st with
+  | INT v ->
+    advance st;
+    PInt v
+  | FLOAT v ->
+    advance st;
+    PFloat v
+  | STRING s ->
+    advance st;
+    PStr s
+  | PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    eat_punct st ")";
+    e
+  | IDENT name ->
+    advance st;
+    if tok st = PUNCT "(" then begin
+      advance st;
+      let args = ref [] in
+      if tok st <> PUNCT ")" then begin
+        args := [ parse_expr st ];
+        while accept st (PUNCT ",") do
+          args := parse_expr st :: !args
+        done
+      end;
+      eat_punct st ")";
+      PCall (name, List.rev !args)
+    end
+    else PVar name
+  | t -> perr st "expected expression, found %s" (token_to_string t)
+
+(* ----- statement parsing ----- *)
+
+let parse_decl_kind st =
+  if accept st (KW "f") then
+    if tok st = IDENT "ptr" then perr st "write fptr as a single word: var fptr x"
+    else DFlt
+  else if accept st (KW "ptr") then DPtr
+  else if tok st = IDENT "fptr" then begin
+    advance st;
+    DFptr
+  end
+  else DInt
+
+let rec parse_block st =
+  eat_punct st "{";
+  let stmts = ref [] in
+  while tok st <> PUNCT "}" do
+    stmts := parse_stmt st :: !stmts
+  done;
+  eat_punct st "}";
+  List.rev !stmts
+
+and parse_stmt st =
+  match tok st with
+  | KW "var" ->
+    advance st;
+    let kind = parse_decl_kind st in
+    let name = ident st in
+    eat_punct st "=";
+    let e = parse_expr st in
+    eat_punct st ";";
+    SVar (kind, name, e)
+  | KW "arr" ->
+    advance st;
+    let is_float = accept st (KW "f") in
+    let name = ident st in
+    eat_punct st "[";
+    let n =
+      match tok st with
+      | INT v ->
+        advance st;
+        Int64.to_int v
+      | _ -> perr st "array size must be an integer literal"
+    in
+    eat_punct st "]";
+    eat_punct st ";";
+    SArr (is_float, name, n)
+  | KW "if" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    let then_ = parse_block st in
+    let else_ =
+      if accept st (KW "else") then
+        if tok st = KW "if" then [ parse_stmt st ] else parse_block st
+      else []
+    in
+    SIf (cond, then_, else_)
+  | KW "while" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    SWhile (cond, parse_block st)
+  | KW "for" ->
+    advance st;
+    eat_punct st "(";
+    let name = ident st in
+    eat_punct st "=";
+    let lo = parse_expr st in
+    eat_punct st ";";
+    (* canonical form: name < hi ; name = name + 1 *)
+    let name2 = ident st in
+    if name2 <> name then perr st "for loop must test its counter (%s)" name;
+    eat_punct st "<";
+    let hi = parse_expr st in
+    eat_punct st ";";
+    let name3 = ident st in
+    eat_punct st "=";
+    let name4 = ident st in
+    eat_punct st "+";
+    (match tok st with
+     | INT 1L -> advance st
+     | _ -> perr st "for step must be `%s = %s + 1` (use while otherwise)" name name);
+    if name3 <> name || name4 <> name then
+      perr st "for step must be `%s = %s + 1`" name name;
+    eat_punct st ")";
+    SFor (name, lo, hi, parse_block st)
+  | KW "break" ->
+    advance st;
+    eat_punct st ";";
+    SBreak
+  | KW "continue" ->
+    advance st;
+    eat_punct st ";";
+    SContinue
+  | KW "return" ->
+    advance st;
+    if accept st (PUNCT ";") then SReturn None
+    else begin
+      let e = parse_expr st in
+      eat_punct st ";";
+      SReturn (Some e)
+    end
+  | PUNCT "*" ->
+    (* *addr = value ; *)
+    advance st;
+    let addr = parse_unary st in
+    eat_punct st "=";
+    let value = parse_expr st in
+    eat_punct st ";";
+    SStoreMem (addr, value)
+  | _ ->
+    (* expression or assignment: parse an expression, then dispatch *)
+    let e = parse_expr st in
+    if accept st (PUNCT "=") then begin
+      let rhs = parse_expr st in
+      eat_punct st ";";
+      match e with
+      | PVar name -> SAssign (name, rhs)
+      | PIdx (base, idx) -> SStoreIdx (base, idx, rhs)
+      | PIdx8 (base, idx) -> SStoreIdx8 (base, idx, rhs)
+      | PUn ("*", addr) -> SStoreMem (addr, rhs)
+      | _ -> perr st "left-hand side is not assignable"
+    end
+    else begin
+      eat_punct st ";";
+      SExpr e
+    end
+
+let parse_param st =
+  let kind = parse_decl_kind st in
+  (kind, ident st)
+
+let parse_top st =
+  match tok st with
+  | KW "global" ->
+    advance st;
+    let is_float = accept st (KW "f") in
+    let name = ident st in
+    let elems =
+      if accept st (PUNCT "[") then begin
+        match tok st with
+        | INT v ->
+          advance st;
+          eat_punct st "]";
+          Int64.to_int v
+        | _ -> perr st "array size must be an integer literal"
+      end
+      else 1
+    in
+    let init =
+      if accept st (PUNCT "=") then (
+        match tok st with
+        | INT v ->
+          advance st;
+          Some v
+        | _ -> perr st "global initializer must be an integer literal")
+      else None
+    in
+    eat_punct st ";";
+    TGlobal (is_float, name, elems, init)
+  | KW "tls" ->
+    advance st;
+    let name = ident st in
+    eat_punct st ";";
+    TTls name
+  | KW "fn" ->
+    advance st;
+    let name = ident st in
+    eat_punct st "(";
+    let params = ref [] in
+    if tok st <> PUNCT ")" then begin
+      params := [ parse_param st ];
+      while accept st (PUNCT ",") do
+        params := parse_param st :: !params
+      done
+    end;
+    eat_punct st ")";
+    let ret =
+      if accept st (PUNCT ":") then parse_decl_kind st else DInt
+    in
+    let body = parse_block st in
+    TFunc { pf_name = name; pf_params = List.rev !params; pf_ret = ret; pf_body = body }
+  | t -> perr st "expected global, tls or fn, found %s" (token_to_string t)
+
+let parse_program src =
+  let toks = Array.of_list (tokenize src) in
+  let st = { toks; pos = 0 } in
+  let tops = ref [] in
+  while tok st <> EOF do
+    tops := parse_top st :: !tops
+  done;
+  List.rev !tops
+
+(* ----- typed lowering onto the Cl builder ----- *)
+
+type ty = TI | TF | TP of ty  (* pointer element type: TI or TF *)
+
+let ty_name = function
+  | TI -> "i64"
+  | TF -> "f64"
+  | TP TF -> "fptr"
+  | TP _ -> "ptr"
+
+let ty_of_kind = function DInt -> TI | DFlt -> TF | DPtr -> TP TI | DFptr -> TP TF
+
+let cl_ty = function TI -> Dapper_ir.Ir.I64 | TF -> Dapper_ir.Ir.F64 | TP _ -> Dapper_ir.Ir.Ptr
+
+(* signatures of the runtime library and Cstd *)
+let builtin_sigs =
+  [ ("exit", ([ TI ], TI)); ("write", ([ TI; TP TI; TI ], TI));
+    ("sbrk", ([ TI ], TP TI)); ("spawn", ([ TP TI; TI ], TI)); ("join", ([ TI ], TI));
+    ("lock", ([ TP TI ], TI)); ("unlock", ([ TP TI ], TI)); ("clock", ([], TI));
+    ("yield", ([], TI));
+    ("print_str", ([ TP TI; TI ], TI)); ("print_int", ([ TI ], TI));
+    ("print_flt", ([ TF ], TI)); ("print_nl", ([], TI));
+    ("abs64", ([ TI ], TI)); ("min64", ([ TI; TI ], TI)); ("max64", ([ TI; TI ], TI));
+    ("memset8", ([ TP TI; TI; TI ], TI)); ("memcpy8", ([ TP TI; TP TI; TI ], TI));
+    ("strlen8", ([ TP TI ], TI));
+    ("fexp", ([ TF ], TF)); ("fln", ([ TF ], TF)); ("fpow_i", ([ TF; TI ], TF));
+    ("fsin", ([ TF ], TF)); ("fcos", ([ TF ], TF));
+    ("rand_seed", ([ TI ], TI)); ("rand_next", ([], TI)); ("frand", ([], TF)) ]
+
+type genv = {
+  mb : Cl.mb;
+  fsigs : (string * (ty list * ty)) list;
+  globals : (string * ty) list;      (* scalar type or pointer-to-elem for arrays *)
+  garrays : string list;
+  tls : string list;
+}
+
+type fenv = {
+  g : genv;
+  mutable locals : (string * ty) list;
+  mutable arrays : (string * ty) list; (* name -> element pointer type *)
+}
+
+let lookup_sig env name = List.assoc_opt name env.g.fsigs
+
+(* lower an expression; returns the Cl expression and its type *)
+let rec lower_expr env (b : Cl.fnb) e : Cl.expr * ty =
+  ignore b;
+  match e with
+  | PInt v -> (Cl.i64 v, TI)
+  | PFloat v -> (Cl.f v, TF)
+  | PStr s ->
+    let name = Cl.str_lit env.g.mb s in
+    (Cl.addr name, TP TI)
+  | PVar name ->
+    (match List.assoc_opt name env.locals with
+     | Some ty -> (Cl.v name, ty)
+     | None ->
+       (match List.assoc_opt name env.arrays with
+        | Some ty -> (Cl.addr name, ty)
+        | None ->
+          if List.mem name env.g.garrays then
+            (Cl.addr name, List.assoc name env.g.globals)
+          else
+            (match List.assoc_opt name env.g.globals with
+             | Some ty -> (Cl.v name, ty)
+             | None ->
+               if List.mem name env.g.tls then (Cl.v name, TI)
+               else if lookup_sig env name <> None then (Cl.fnptr name, TP TI)
+               else fail "unknown identifier %s" name)))
+  | PAddr name ->
+    if List.mem_assoc name env.locals || List.mem_assoc name env.arrays
+       || List.mem_assoc name env.g.globals || List.mem name env.g.tls
+    then (Cl.addr name, TP TI)
+    else fail "cannot take the address of unknown %s" name
+  | PUn ("-", e) ->
+    let v, ty = lower_expr env b e in
+    (match ty with
+     | TI -> (Cl.neg v, TI)
+     | TF -> (Cl.fneg v, TF)
+     | TP _ -> fail "cannot negate a pointer")
+  | PUn ("!", e) ->
+    let v, ty = lower_expr env b e in
+    if ty = TF then fail "! expects an integer";
+    (Cl.eq v (Cl.i 0), TI)
+  | PUn ("*", e) ->
+    let v, ty = lower_expr env b e in
+    (match ty with
+     | TP TF -> (Cl.deref v, TF)
+     | TP _ -> (Cl.deref v, TI)
+     | TI | TF -> fail "* expects a pointer")
+  | PUn (op, _) -> fail "unknown unary operator %s" op
+  | PIdx (base, idx) ->
+    let vb, tb = lower_expr env b base in
+    let vi, ti = lower_expr env b idx in
+    if ti <> TI then fail "index must be an integer";
+    (match tb with
+     | TP elem -> (Cl.idx vb vi, elem)
+     | TI | TF -> fail "indexing a non-pointer")
+  | PIdx8 (base, idx) ->
+    let vb, tb = lower_expr env b base in
+    let vi, ti = lower_expr env b idx in
+    if ti <> TI then fail "index must be an integer";
+    (match tb with
+     | TP _ -> (Cl.idx8 vb vi, TI)
+     | TI | TF -> fail "byte-indexing a non-pointer")
+  | PBin (op, a, c) -> lower_binop env b op a c
+  | PCall ("print", [ PStr s ]) ->
+    let name = Cl.str_lit env.g.mb s in
+    (Cl.call "print_str" [ Cl.addr name; Cl.i (String.length s) ], TI)
+  | PCall ("i2f", [ e ]) ->
+    let v, ty = lower_expr env b e in
+    if ty <> TI then fail "i2f expects an integer";
+    (Cl.i2f v, TF)
+  | PCall ("f2i", [ e ]) ->
+    let v, ty = lower_expr env b e in
+    if ty <> TF then fail "f2i expects a float";
+    (Cl.f2i v, TI)
+  | PCall ("sqrt", [ e ]) ->
+    let v, ty = lower_expr env b e in
+    if ty <> TF then fail "sqrt expects a float";
+    (Cl.sqrt_ v, TF)
+  | PCall ("icall", target :: args) ->
+    let vt, tt = lower_expr env b target in
+    (match tt with
+     | TP _ ->
+       let vargs = List.map (fun a -> fst (lower_expr env b a)) args in
+       (Cl.call_ptr vt vargs, TI)
+     | TI | TF -> fail "icall expects a function pointer")
+  | PCall (name, args) ->
+    (match lookup_sig env name with
+     | None -> fail "call to unknown function %s" name
+     | Some (param_tys, ret) ->
+       if List.length args <> List.length param_tys then
+         fail "%s expects %d arguments, got %d" name (List.length param_tys)
+           (List.length args);
+       let vargs =
+         List.map2
+           (fun a want ->
+             let v, got = lower_expr env b a in
+             (match (want, got) with
+              | TI, TI | TF, TF -> ()
+              | TP _, TP _ -> () (* pointers interconvert *)
+              | TP _, TI when name = "spawn" -> () (* tid-style ints ok *)
+              | _ ->
+                fail "%s: argument type mismatch (expected %s, got %s)" name
+                  (ty_name want) (ty_name got));
+             v)
+           args param_tys
+       in
+       let call = if ret = TF then Cl.callf name vargs else Cl.call name vargs in
+       (call, ret))
+
+and lower_binop env b op a c =
+  let va, ta = lower_expr env b a in
+  let vc, tc = lower_expr env b c in
+  let ints f = (f va vc, TI) in
+  let norm v = Cl.ne v (Cl.i 0) in
+  match (op, ta, tc) with
+  | "+", TI, TI -> ints Cl.add
+  | "+", TF, TF -> (Cl.fadd va vc, TF)
+  | "+", TP e, TI -> (Cl.add va (Cl.mul vc (Cl.i 8)), TP e)
+  | "+", TI, TP e -> (Cl.add (Cl.mul va (Cl.i 8)) vc, TP e)
+  | "-", TI, TI -> ints Cl.sub
+  | "-", TF, TF -> (Cl.fsub va vc, TF)
+  | "-", TP e, TI -> (Cl.sub va (Cl.mul vc (Cl.i 8)), TP e)
+  | "-", TP _, TP _ -> (Cl.div_ (Cl.sub va vc) (Cl.i 8), TI)
+  | "*", TI, TI -> ints Cl.mul
+  | "*", TF, TF -> (Cl.fmul va vc, TF)
+  | "/", TI, TI -> ints Cl.div_
+  | "/", TF, TF -> (Cl.fdiv va vc, TF)
+  | "%", TI, TI -> ints Cl.rem_
+  | "&", TI, TI -> ints Cl.band
+  | "|", TI, TI -> ints Cl.bor
+  | "^", TI, TI -> ints Cl.bxor
+  | "<<", TI, TI -> ints Cl.shl
+  | ">>", TI, TI -> ints Cl.shr
+  | "&&", TI, TI -> (Cl.band (norm va) (norm vc), TI)
+  | "||", TI, TI -> (Cl.bor (norm va) (norm vc), TI)
+  | "==", TI, TI | "==", TP _, TP _ -> ints Cl.eq
+  | "==", TF, TF -> (Cl.feq va vc, TI)
+  | "!=", TI, TI | "!=", TP _, TP _ -> ints Cl.ne
+  | "!=", TF, TF -> (Cl.sub (Cl.i 1) (Cl.feq va vc), TI)
+  | "<", TI, TI | "<", TP _, TP _ -> ints Cl.lt
+  | "<", TF, TF -> (Cl.flt va vc, TI)
+  | "<=", TI, TI -> ints Cl.le
+  | "<=", TF, TF -> (Cl.fle va vc, TI)
+  | ">", TI, TI -> ints Cl.gt
+  | ">", TF, TF -> (Cl.flt vc va, TI)
+  | ">=", TI, TI -> ints Cl.ge
+  | ">=", TF, TF -> (Cl.fle vc va, TI)
+  | _ ->
+    fail "operator %s not defined on (%s, %s) - cast explicitly with i2f/f2i" op
+      (ty_name ta) (ty_name tc)
+
+let rec lower_stmt env (b : Cl.fnb) = function
+  | SVar (kind, name, e) ->
+    let ty = ty_of_kind kind in
+    let v, got = lower_expr env b e in
+    (match (ty, got) with
+     | TI, TI | TF, TF -> ()
+     | TP _, TP _ -> ()
+     | _ -> fail "var %s : %s initialized with %s" name (ty_name ty) (ty_name got));
+    (match ty with
+     | TI -> Cl.decl b name v
+     | TF -> Cl.declf b name v
+     | TP _ -> Cl.declp b name v);
+    env.locals <- (name, ty) :: env.locals
+  | SArr (is_float, name, n) ->
+    Cl.decl_arr_ty b name n (if is_float then Dapper_ir.Ir.F64 else Dapper_ir.Ir.I64);
+    env.arrays <- (name, TP (if is_float then TF else TI)) :: env.arrays
+  | SAssign (name, e) ->
+    let v, got = lower_expr env b e in
+    let want =
+      match List.assoc_opt name env.locals with
+      | Some ty -> ty
+      | None ->
+        (match List.assoc_opt name env.g.globals with
+         | Some ty when not (List.mem name env.g.garrays) -> ty
+         | Some _ -> fail "cannot assign to array %s" name
+         | None ->
+           if List.mem name env.g.tls then TI else fail "unknown variable %s" name)
+    in
+    (match (want, got) with
+     | TI, TI | TF, TF -> ()
+     | TP _, TP _ -> ()
+     | _ -> fail "assigning %s to %s : %s" (ty_name got) name (ty_name want));
+    Cl.set b name v
+  | SStoreIdx (base, idx, value) ->
+    let vb, tb = lower_expr env b base in
+    let vi, _ = lower_expr env b idx in
+    let vv, tv = lower_expr env b value in
+    (match (tb, tv) with
+     | TP TI, TI | TP TF, TF | TP TI, TP _ -> ()
+     | TP elem, _ -> fail "storing %s into array of %s" (ty_name tv) (ty_name elem)
+     | _ -> fail "indexed store into a non-pointer");
+    Cl.store_idx b vb vi vv
+  | SStoreIdx8 (base, idx, value) ->
+    let vb, tb = lower_expr env b base in
+    let vi, _ = lower_expr env b idx in
+    let vv, tv = lower_expr env b value in
+    if tv <> TI then fail "byte store expects an integer";
+    (match tb with
+     | TP _ -> Cl.store_idx8 b vb vi vv
+     | _ -> fail "byte store into a non-pointer")
+  | SStoreMem (addr, value) ->
+    let va, ta = lower_expr env b addr in
+    let vv, _ = lower_expr env b value in
+    (match ta with
+     | TP _ -> Cl.store b va vv
+     | _ -> fail "store through a non-pointer")
+  | SIf (cond, then_, else_) ->
+    let vc, tc = lower_expr env b cond in
+    if tc = TF then fail "if condition must be an integer";
+    Cl.if_else b vc
+      (fun b -> List.iter (lower_stmt env b) then_)
+      (fun b -> List.iter (lower_stmt env b) else_)
+  | SWhile (cond, body) ->
+    (* the condition re-lowers per loop structure, evaluated in the header *)
+    let vc, tc = lower_expr env b cond in
+    if tc = TF then fail "while condition must be an integer";
+    Cl.while_ b vc (fun b -> List.iter (lower_stmt env b) body)
+  | SFor (name, lo, hi, body) ->
+    let vlo, tlo = lower_expr env b lo in
+    let vhi, thi = lower_expr env b hi in
+    if tlo <> TI || thi <> TI then fail "for bounds must be integers";
+    if not (List.mem_assoc name env.locals) then env.locals <- (name, TI) :: env.locals;
+    Cl.for_ b name vlo vhi (fun b -> List.iter (lower_stmt env b) body)
+  | SBreak -> Cl.break_ b
+  | SContinue -> Cl.continue_ b
+  | SReturn None -> Cl.ret0 b
+  | SReturn (Some e) ->
+    let v, _ = lower_expr env b e in
+    Cl.ret b v
+  | SExpr (PCall (_, _) as e) ->
+    let v, _ = lower_expr env b e in
+    Cl.do_ b v
+  | SExpr _ -> fail "expression statement has no effect; assign it or call a function"
+
+let compile ~name src =
+  let tops = parse_program src in
+  let mb = Cl.create name in
+  Cstd.add mb;
+  (* first pass: signatures and global declarations *)
+  let fsigs = ref builtin_sigs in
+  let globals = ref [] in
+  let garrays = ref [] in
+  let tls = ref [] in
+  List.iter
+    (function
+      | TGlobal (is_float, gname, elems, init) ->
+        if elems = 1 then begin
+          (match init with
+           | Some v -> Cl.global_i64 mb gname v
+           | None -> Cl.global mb gname 8);
+          globals := (gname, if is_float then TF else TI) :: !globals
+        end
+        else begin
+          Cl.global mb gname (8 * elems);
+          globals := (gname, TP (if is_float then TF else TI)) :: !globals;
+          garrays := gname :: !garrays
+        end
+      | TTls tname ->
+        Cl.tls_var mb tname 8;
+        tls := tname :: !tls
+      | TFunc f ->
+        fsigs :=
+          (f.pf_name, (List.map (fun (k, _) -> ty_of_kind k) f.pf_params, ty_of_kind f.pf_ret))
+          :: !fsigs)
+    tops;
+  let g = { mb; fsigs = !fsigs; globals = !globals; garrays = !garrays; tls = !tls } in
+  (* second pass: function bodies *)
+  List.iter
+    (function
+      | TGlobal _ | TTls _ -> ()
+      | TFunc f ->
+        let params =
+          List.map (fun (k, pname) -> (pname, cl_ty (ty_of_kind k))) f.pf_params
+        in
+        Cl.func mb f.pf_name params (fun b ->
+            let env =
+              { g;
+                locals = List.map (fun (k, pname) -> (pname, ty_of_kind k)) f.pf_params;
+                arrays = [] }
+            in
+            List.iter (lower_stmt env b) f.pf_body))
+    tops;
+  Cl.finish mb

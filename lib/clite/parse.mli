@@ -1,0 +1,42 @@
+(** Parser and type checker for the clite surface syntax — the textual
+    front-end playing Clang's role in the paper's pipeline.
+
+    {v
+    global hits;            // 8-byte global
+    global f table[64];     // global array of floats
+    tls state;              // thread-local
+
+    fn weight(f x) : f {    // ": f" - returns f64 (default i64)
+      return x * 2.5;
+    }
+
+    fn main() {
+      var i = 0;            // i64 local (promotable)
+      var f acc = 0.0;      // f64 local
+      arr buf[8];           // stack array (shuffled by Dapper)
+      var fptr xs = sbrk(64 * 8);
+      for (i = 0; i < 64; i = i + 1) {
+        xs[i] = weight(i2f(i));
+        acc = acc + xs[i];
+      }
+      buf.[0] = 65;         // byte store
+      print("acc=");        // string-literal print
+      print_flt(acc); print_nl();
+      return f2i(acc) % 251;
+    }
+    v}
+
+    Expressions are typed (i64 / f64 / typed pointers); arithmetic
+    operators resolve to integer or float operations from their operand
+    types, and mixing requires explicit [i2f]/[f2i]. [&&]/[||] normalize
+    their operands but do not short-circuit. General [for] loops are
+    restricted to the canonical counting form; use [while] otherwise.
+
+    Built-ins beyond the runtime/stdlib calls: [i2f], [f2i], [sqrt],
+    [icall(p, ...)] (indirect call), [print("literal")]. *)
+
+exception Parse_error of string
+
+(** [compile ~name src] parses, type-checks and lowers the program,
+    returning the IR module (with the {!Cstd} library linked in). *)
+val compile : name:string -> string -> Dapper_ir.Ir.modul

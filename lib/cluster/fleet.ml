@@ -1,0 +1,182 @@
+open Dapper_machine
+open Dapper_net
+open Dapper_codegen
+module Migrate = Dapper.Migrate
+
+type config = {
+  f_window_ms : float;
+  f_quantum_ms : float;
+  f_xeon_slots : int;
+  f_rpis : int;
+  f_rpi_slots_each : int;
+  f_evict : bool;
+  f_bytes_scale : float;
+  f_job_fuel : int;
+  f_speed_scale : float;
+}
+
+let default_config =
+  { f_window_ms = 30_000.0; f_quantum_ms = 50.0; f_xeon_slots = 7; f_rpis = 3;
+    f_rpi_slots_each = 3; f_evict = true; f_bytes_scale = 1.0;
+    f_job_fuel = 50_000_000; f_speed_scale = 4200.0 }
+
+type stats = {
+  f_jobs_done : int;
+  f_jobs_done_rpi : int;
+  f_evictions : int;
+  f_eviction_failures : int;
+  f_migration_ms_total : float;
+  f_energy_kj : float;
+  f_jobs_per_kj : float;
+}
+
+exception Fleet_error of string
+
+type running = {
+  r_proc : Process.t;
+  r_compiled : Link.compiled;
+  r_started_quantum : int;
+}
+
+type slot = {
+  s_node : Node.t;
+  mutable s_job : running option;
+  mutable s_busy_ms : float;
+  mutable s_stall_ms : float;  (** time owed (e.g. migration overhead) *)
+}
+
+let run config (jobs : Link.compiled list) =
+  if jobs = [] then raise (Fleet_error "no jobs");
+  let jobs = Array.of_list jobs in
+  let queue_pos = ref 0 in
+  let next_job () =
+    let j = jobs.(!queue_pos mod Array.length jobs) in
+    incr queue_pos;
+    j
+  in
+  let xeon_slots =
+    Array.init config.f_xeon_slots (fun _ ->
+        { s_node = Node.xeon; s_job = None; s_busy_ms = 0.0; s_stall_ms = 0.0 })
+  in
+  let rpi_slots =
+    Array.init (config.f_rpis * config.f_rpi_slots_each) (fun _ ->
+        { s_node = Node.rpi; s_job = None; s_busy_ms = 0.0; s_stall_ms = 0.0 })
+  in
+  let done_total = ref 0 and done_rpi = ref 0 in
+  let evictions = ref 0 and eviction_failures = ref 0 in
+  let migration_ms = ref 0.0 in
+  let start_job slot quantum =
+    let compiled = next_job () in
+    let bin = Link.binary_for compiled slot.s_node.Node.n_arch in
+    slot.s_job <-
+      Some { r_proc = Process.load bin; r_compiled = compiled; r_started_quantum = quantum }
+  in
+  let quanta = int_of_float (config.f_window_ms /. config.f_quantum_ms) in
+  for q = 0 to quanta - 1 do
+    (* fill free Xeon slots from the queue *)
+    Array.iter (fun s -> if s.s_job = None then start_job s q) xeon_slots;
+    (* eviction: queue is backed up (all xeon busy) and a Pi is free *)
+    if config.f_evict then
+      Array.iter
+        (fun pi ->
+          if pi.s_job = None && Array.for_all (fun s -> s.s_job <> None) xeon_slots
+          then begin
+            (* evict the most recently started xeon job (least sunk cost) *)
+            let victim =
+              Array.fold_left
+                (fun best s ->
+                  match (best, s.s_job) with
+                  | None, Some _ -> Some s
+                  | Some b, Some j ->
+                    (match b.s_job with
+                     | Some jb when j.r_started_quantum > jb.r_started_quantum -> Some s
+                     | _ -> best)
+                  | _, None -> best)
+                None xeon_slots
+            in
+            match victim with
+            | None -> ()
+            | Some vs ->
+              let job = Option.get vs.s_job in
+              let src_bin =
+                Link.binary_for job.r_compiled Dapper_isa.Arch.X86_64
+              in
+              let dst_bin =
+                Link.binary_for job.r_compiled Dapper_isa.Arch.Aarch64
+              in
+              (match
+                 Migrate.migrate ~bytes_scale:config.f_bytes_scale
+                   ~src_node:Node.xeon ~dst_node:Node.rpi ~src_bin ~dst_bin
+                   job.r_proc
+               with
+               | Ok r ->
+                 incr evictions;
+                 let cost = Migrate.total_ms r.Migrate.r_times in
+                 migration_ms := !migration_ms +. cost;
+                 pi.s_stall_ms <- pi.s_stall_ms +. cost;
+                 pi.s_job <-
+                   Some { r_proc = r.Migrate.r_process; r_compiled = job.r_compiled;
+                          r_started_quantum = q };
+                 vs.s_job <- None;
+                 start_job vs q
+               | Error _ ->
+                 (* e.g. the job finished during the pause; count and move on *)
+                 incr eviction_failures;
+                 (match job.r_proc.Process.exit_code with
+                  | Some _ ->
+                    incr done_total;
+                    vs.s_job <- None;
+                    start_job vs q
+                  | None -> Dapper.Monitor.resume job.r_proc))
+          end)
+        rpi_slots;
+    (* advance every busy slot by one quantum *)
+    Array.iter
+      (fun s ->
+        match s.s_job with
+        | None -> ()
+        | Some job ->
+          s.s_busy_ms <- s.s_busy_ms +. config.f_quantum_ms;
+          if s.s_stall_ms >= config.f_quantum_ms then
+            s.s_stall_ms <- s.s_stall_ms -. config.f_quantum_ms
+          else begin
+            let effective_ms = config.f_quantum_ms -. s.s_stall_ms in
+            s.s_stall_ms <- 0.0;
+            let instrs =
+              int_of_float
+                (effective_ms *. s.s_node.Node.n_ops_per_ns *. 1e6
+                 /. config.f_speed_scale)
+            in
+            match Process.run job.r_proc ~max_instrs:(min instrs config.f_job_fuel) with
+            | Process.Exited_run _ ->
+              incr done_total;
+              if s.s_node.Node.n_arch = Dapper_isa.Arch.Aarch64 then incr done_rpi;
+              s.s_job <- None
+            | Process.Crashed cr ->
+              raise (Fleet_error ("job crashed: " ^ cr.Process.cr_reason))
+            | Process.Progress -> ()
+            | Process.Idle -> raise (Fleet_error "job deadlocked")
+          end)
+      (Array.append xeon_slots rpi_slots)
+  done;
+  let busy arch =
+    Array.fold_left
+      (fun acc s -> if s.s_node.Node.n_arch = arch then acc +. s.s_busy_ms else acc)
+      0.0
+      (Array.append xeon_slots rpi_slots)
+    /. 1000.0
+  in
+  let window_s = config.f_window_ms /. 1000.0 in
+  let energy_j =
+    (Node.xeon.Node.n_idle_w *. window_s)
+    +. (Node.xeon.Node.n_core_w *. busy Dapper_isa.Arch.X86_64)
+    +. (float_of_int config.f_rpis *. Node.rpi.Node.n_idle_w *. window_s)
+    +. (Node.rpi.Node.n_core_w *. busy Dapper_isa.Arch.Aarch64)
+  in
+  { f_jobs_done = !done_total;
+    f_jobs_done_rpi = !done_rpi;
+    f_evictions = !evictions;
+    f_eviction_failures = !eviction_failures;
+    f_migration_ms_total = !migration_ms;
+    f_energy_kj = energy_j /. 1000.0;
+    f_jobs_per_kj = float_of_int !done_total /. (energy_j /. 1000.0) }

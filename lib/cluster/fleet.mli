@@ -1,0 +1,53 @@
+(** A process-level fleet manager: the Fig. 8 experiment executed with
+    {e real} simulated processes rather than analytic job costs.
+
+    An infinite round-robin queue of compiled jobs is processed on a
+    Xeon, optionally extended with Raspberry Pis. When every Xeon slot
+    is busy, the queue backs up and a free Pi slot triggers eviction:
+    the most recently started Xeon job is live-migrated
+    (pause → dump → rewrite → restore via {!Dapper.Migrate}) onto the
+    Pi, and the freed Xeon slot takes the next queued job — the paper's
+    "simple scheduler to evict tasks ... when the x86-64 server runs
+    out of CPU resources".
+
+    Time advances in fixed quanta; each busy slot interprets
+    [quantum_ms x ops/ms] instructions of its job per quantum, so
+    heterogenous speeds, migration overheads and energy all come from
+    the same clock. *)
+
+open Dapper_codegen
+
+type config = {
+  f_window_ms : float;
+  f_quantum_ms : float;
+  f_xeon_slots : int;
+  f_rpis : int;
+  f_rpi_slots_each : int;
+  f_evict : bool;          (** false: Pis stay idle (baseline) *)
+  f_bytes_scale : float;
+  f_job_fuel : int;        (** per-quantum interpreter safety cap *)
+  f_speed_scale : float;
+      (** divide node speeds by this factor so that downscaled jobs take
+          realistic multiples of the quantum; relative Xeon/Pi speed is
+          preserved (default 4200: the Xeon interprets 1000
+          instructions per simulated millisecond) *)
+}
+
+val default_config : config
+
+type stats = {
+  f_jobs_done : int;
+  f_jobs_done_rpi : int;
+  f_evictions : int;
+  f_eviction_failures : int;
+  f_migration_ms_total : float;
+  f_energy_kj : float;
+  f_jobs_per_kj : float;
+}
+
+exception Fleet_error of string
+
+(** [run config jobs] processes the queue for the window. Each job run
+    is a fresh process of the job's binary for the hosting node's
+    architecture; evicted jobs continue from their live state. *)
+val run : config -> Link.compiled list -> stats

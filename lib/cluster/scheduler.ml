@@ -1,0 +1,113 @@
+open Dapper_net
+
+type job_kind = {
+  jk_name : string;
+  jk_xeon_ms : float;
+  jk_rpi_ms : float;
+  jk_migration_ms : float;
+}
+
+type config = {
+  c_window_ms : float;
+  c_xeon_slots : int;
+  c_rpis : int;
+  c_rpi_slots_each : int;
+}
+
+type result = {
+  r_jobs_done : int;
+  r_jobs_xeon : int;
+  r_jobs_rpi : int;
+  r_energy_kj : float;
+  r_jobs_per_kj : float;
+  r_throughput_per_min : float;
+}
+
+let default_window_ms = 30.0 *. 60.0 *. 1000.0
+let xeon_node = Node.xeon
+let rpi_node = Node.rpi
+
+type slot = { s_is_rpi : bool; mutable s_free_at : float; mutable s_busy_ms : float }
+
+(* Discrete-event loop: each slot pulls the next job from the infinite
+   round-robin queue the moment it frees up; a job counts if it finishes
+   inside the window. Pi slots pay the eviction (migration) overhead on
+   every job, as in the paper's setup where the scheduler moves the job
+   to the board after it started on the loaded server. *)
+let run config kinds =
+  if kinds = [] then invalid_arg "Scheduler.run: no job kinds";
+  let kinds = Array.of_list kinds in
+  let slots =
+    List.init config.c_xeon_slots (fun _ -> { s_is_rpi = false; s_free_at = 0.0; s_busy_ms = 0.0 })
+    @ List.init (config.c_rpis * config.c_rpi_slots_each) (fun _ ->
+          { s_is_rpi = true; s_free_at = 0.0; s_busy_ms = 0.0 })
+  in
+  let queue_pos = ref 0 in
+  let next_kind () =
+    let k = kinds.(!queue_pos mod Array.length kinds) in
+    incr queue_pos;
+    k
+  in
+  let done_total = ref 0 and done_xeon = ref 0 and done_rpi = ref 0 in
+  (* jobs are handed out in queue order: always serve the slot that frees
+     up earliest (stable tie-break on slot order) *)
+  let rec loop () =
+    let slot =
+      List.fold_left
+        (fun best s ->
+          match best with
+          | None -> Some s
+          | Some b -> if s.s_free_at < b.s_free_at then Some s else best)
+        None slots
+      |> Option.get
+    in
+    if slot.s_free_at >= config.c_window_ms then ()
+    else begin
+      let kind = next_kind () in
+      let dur =
+        if slot.s_is_rpi then kind.jk_rpi_ms +. kind.jk_migration_ms else kind.jk_xeon_ms
+      in
+      let finish = slot.s_free_at +. dur in
+      if finish <= config.c_window_ms then begin
+        incr done_total;
+        if slot.s_is_rpi then incr done_rpi else incr done_xeon;
+        slot.s_busy_ms <- slot.s_busy_ms +. dur
+      end
+      else
+        (* partial job at the window edge still burns the remaining time *)
+        slot.s_busy_ms <- slot.s_busy_ms +. (config.c_window_ms -. slot.s_free_at);
+      slot.s_free_at <- finish;
+      loop ()
+    end
+  in
+  loop ();
+  (* Energy: idle power over the whole window per machine, plus per-core
+     active power over busy time. *)
+  let window_s = config.c_window_ms /. 1000.0 in
+  let xeon_busy_s =
+    List.fold_left (fun acc s -> if s.s_is_rpi then acc else acc +. (s.s_busy_ms /. 1000.0))
+      0.0 slots
+  in
+  let rpi_busy_s =
+    List.fold_left (fun acc s -> if s.s_is_rpi then acc +. (s.s_busy_ms /. 1000.0) else acc)
+      0.0 slots
+  in
+  let energy_j =
+    (xeon_node.Node.n_idle_w *. window_s)
+    +. (xeon_node.Node.n_core_w *. xeon_busy_s)
+    +. (float_of_int config.c_rpis *. rpi_node.Node.n_idle_w *. window_s)
+    +. (rpi_node.Node.n_core_w *. rpi_busy_s)
+  in
+  let energy_kj = energy_j /. 1000.0 in
+  { r_jobs_done = !done_total;
+    r_jobs_xeon = !done_xeon;
+    r_jobs_rpi = !done_rpi;
+    r_energy_kj = energy_kj;
+    r_jobs_per_kj = float_of_int !done_total /. energy_kj;
+    r_throughput_per_min = float_of_int !done_total /. (config.c_window_ms /. 60_000.0) }
+
+let efficiency_gain_pct ~baseline ~subject =
+  100.0 *. ((subject.r_jobs_per_kj /. baseline.r_jobs_per_kj) -. 1.0)
+
+let throughput_gain_pct ~baseline ~subject =
+  100.0 *. ((float_of_int subject.r_jobs_done /. float_of_int baseline.r_jobs_done) -. 1.0)

@@ -1,0 +1,67 @@
+open Dapper_isa
+open Dapper_ir
+
+type t = {
+  arch : Arch.t;
+  slot_offsets : int array;
+  promoted : (int * int) list;
+  saved : (int * int) list;
+  named_lo : int;
+  named_hi : int;
+  temp_offsets : int array;
+  frame_size : int;
+  leaf : bool;
+}
+
+let align16 n = (n + 15) land lnot 15
+
+let is_leaf (f : Ir.func) =
+  Array.for_all
+    (fun (b : Ir.block) ->
+      List.for_all (function Ir.Call _ -> false | _ -> true) b.instrs)
+    f.fblocks
+
+let layout (opts : Opts.t) arch (f : Ir.func) =
+  let nslots = List.length f.fslots in
+  let nvregs = Ir.vreg_count f in
+  (* Promotion: eligible scalar slots, in slot order, up to the number of
+     callee-saved registers this architecture offers. *)
+  let eligible =
+    if opts.promote then
+      List.filter
+        (fun (s : Ir.slot) -> s.sl_size = 8 && not s.sl_addr_taken)
+        f.fslots
+    else []
+  in
+  let avail = Arch.callee_saved arch in
+  let rec pair slots regs acc =
+    match (slots, regs) with
+    | (s : Ir.slot) :: ss, r :: rs -> pair ss rs ((s.sl_id, r) :: acc)
+    | _, [] | [], _ -> List.rev acc
+  in
+  let promoted = pair eligible avail [] in
+  let saved = List.mapi (fun i (_, r) -> (r, -8 * (i + 1))) promoted in
+  let save_bytes = 8 * List.length saved in
+  (* Named (non-promoted) slots below the save area. *)
+  let slot_offsets = Array.make (max nslots 1) 0 in
+  let cursor = ref save_bytes in
+  List.iter
+    (fun (s : Ir.slot) ->
+      if not (List.mem_assoc s.sl_id promoted) then begin
+        cursor := !cursor + s.sl_size;
+        slot_offsets.(s.sl_id) <- - !cursor
+      end)
+    f.fslots;
+  let named_lo = - !cursor in
+  let named_hi = -save_bytes in
+  (* Temp spill slots. *)
+  let temp_offsets = Array.make (max nvregs 1) 0 in
+  for v = 0 to nvregs - 1 do
+    cursor := !cursor + 8;
+    temp_offsets.(v) <- - !cursor
+  done;
+  let frame_size = align16 !cursor in
+  { arch; slot_offsets; promoted; saved; named_lo; named_hi; temp_offsets;
+    frame_size; leaf = is_leaf f }
+
+let promoted_reg t s = List.assoc_opt s t.promoted

@@ -1,0 +1,35 @@
+(** Per-architecture stack frame layout for one IR function.
+
+    Geometry (identical on both ISAs, by construction of the prologues):
+
+    {v
+      [fp + 8]  return address (aarch64 leaf: still in the link register)
+      [fp + 0]  caller's frame pointer
+      [fp - 8 ...]                callee-saved register save area
+      [fp - save ...]             named slots (locals, arrays) - shuffled
+      [fp - save - named ...]     temporary spill slots (one per vreg)
+      sp = fp - frame_size
+    v}
+
+    Offsets are fp-relative; named-slot offsets are what the stack
+    shuffler permutes. *)
+
+open Dapper_isa
+open Dapper_ir
+
+type t = {
+  arch : Arch.t;
+  slot_offsets : int array;       (** per named slot; meaningless if promoted *)
+  promoted : (int * int) list;    (** slot id -> callee-saved register *)
+  saved : (int * int) list;       (** callee-saved register -> save offset *)
+  named_lo : int;                 (** lowest fp-relative offset of the named area *)
+  named_hi : int;                 (** one past the highest (= -save_bytes) *)
+  temp_offsets : int array;       (** per vreg *)
+  frame_size : int;
+  leaf : bool;
+}
+
+val layout : Opts.t -> Arch.t -> Ir.func -> t
+
+(** Register holding slot [s], if promoted. *)
+val promoted_reg : t -> int -> int option

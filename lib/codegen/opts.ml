@@ -1,0 +1,20 @@
+(** Backend options, exposed so benches can ablate design choices. *)
+
+type t = {
+  promote : bool;
+      (** promote eligible scalars to callee-saved registers (the source
+          of cross-ISA register/stack location asymmetry) *)
+  backedge_checkers : bool;
+      (** also instrument loop headers as equivalence points *)
+  arm_pair_fusion : bool;
+      (** fuse adjacent aarch64 stack accesses into ldp/stp (excluded
+          from shuffling; lowers aarch64 entropy as in Fig. 10) *)
+  pad_quantum : int;
+      (** round every function's padded size up to this multiple
+          (>= 16). Larger quanta leave slack so revised function bodies
+          keep the same layout — what makes hot updates ({!Dsu})
+          applicable to grown functions. *)
+}
+
+let default =
+  { promote = true; backedge_checkers = false; arm_pair_fusion = true; pad_quantum = 16 }

@@ -1,0 +1,78 @@
+open Dapper_isa
+
+(* Item indices that control flow can enter other than by fallthrough:
+   fusing the instruction at such an index into its predecessor would
+   corrupt a branch target. *)
+let jump_targets (sf : Select.sel_func) =
+  let t = Hashtbl.create 64 in
+  Array.iter (fun ix -> Hashtbl.replace t ix ()) sf.sf_block_starts;
+  Array.iter
+    (fun (it : Select.item) ->
+      match it.fix with
+      | Select.Fix_item ix -> Hashtbl.replace t ix ()
+      | Select.Fix_none | Select.Fix_block _ | Select.Fix_sym _ -> ())
+    sf.sf_items;
+  List.iter
+    (fun (m : Select.ep_marker) -> Hashtbl.replace t (m.m_index + 1) ())
+    sf.sf_eps;
+  t
+
+let run (sf : Select.sel_func) =
+  let n = Array.length sf.sf_items in
+  let targets = jump_targets sf in
+  let fused = Array.make n false in  (* item i absorbed its successor *)
+  let removed = Array.make n false in
+  for i = 0 to n - 2 do
+    if (not removed.(i)) && (not fused.(i))
+       && not (Hashtbl.mem targets (i + 1))
+    then begin
+      let a = sf.sf_items.(i) and b = sf.sf_items.(i + 1) in
+      if a.fix = Select.Fix_none && b.fix = Select.Fix_none then
+        match (a.ins, b.ins) with
+        | Minstr.Store (r1, b1, o1), Minstr.Store (r2, b2, o2)
+          when b1 = b2 && o2 = o1 + 8 ->
+          fused.(i) <- true;
+          removed.(i + 1) <- true;
+          sf.sf_items.(i) <- { a with ins = Minstr.Store_pair (r1, r2, b1, o1) }
+        | Minstr.Store (r1, b1, o1), Minstr.Store (r2, b2, o2)
+          when b1 = b2 && o2 = o1 - 8 ->
+          fused.(i) <- true;
+          removed.(i + 1) <- true;
+          sf.sf_items.(i) <- { a with ins = Minstr.Store_pair (r2, r1, b1, o2) }
+        | Minstr.Load (r1, b1, o1), Minstr.Load (r2, b2, o2)
+          when b1 = b2 && o2 = o1 + 8 && r1 <> b1 && r1 <> r2 ->
+          fused.(i) <- true;
+          removed.(i + 1) <- true;
+          sf.sf_items.(i) <- { a with ins = Minstr.Load_pair (r1, r2, b1, o1) }
+        | Minstr.Load (r1, b1, o1), Minstr.Load (r2, b2, o2)
+          when b1 = b2 && o2 = o1 - 8 && r2 <> b1 && r1 <> r2 ->
+          fused.(i) <- true;
+          removed.(i + 1) <- true;
+          sf.sf_items.(i) <- { a with ins = Minstr.Load_pair (r2, r1, b1, o2) }
+        | _ -> ()
+    end
+  done;
+  (* Compact, building the old->new index map. *)
+  let remap = Array.make (n + 1) 0 in
+  let out = ref [] in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    remap.(i) <- !next;
+    if not removed.(i) then begin
+      out := sf.sf_items.(i) :: !out;
+      incr next
+    end
+  done;
+  remap.(n) <- !next;
+  let items =
+    Array.of_list (List.rev_map
+      (fun (it : Select.item) ->
+        match it.fix with
+        | Select.Fix_item ix -> { it with fix = Select.Fix_item remap.(ix) }
+        | Select.Fix_none | Select.Fix_block _ | Select.Fix_sym _ -> it)
+      !out)
+  in
+  { sf with
+    sf_items = items;
+    sf_block_starts = Array.map (fun ix -> remap.(ix)) sf.sf_block_starts;
+    sf_eps = List.map (fun (m : Select.ep_marker) -> { m with m_index = remap.(m.m_index) }) sf.sf_eps }

@@ -1,0 +1,8 @@
+(** aarch64 load/store-pair fusion.
+
+    Rewrites adjacent same-base loads/stores at offsets [o] and [o+8]
+    into a single ldp/stp, as real AArch64 backends do. Slots referenced
+    through pair instructions are excluded from stack shuffling (the
+    paper's stated reason aarch64 achieves lower entropy in Fig. 10). *)
+
+val run : Select.sel_func -> Select.sel_func

@@ -1,0 +1,40 @@
+open Dapper_isa
+
+let externs =
+  [ ("exit", 1); ("write", 3); ("sbrk", 1); ("spawn", 2); ("join", 1);
+    ("lock", 1); ("unlock", 1); ("clock", 0); ("yield", 0) ]
+
+let process_exit_stub = "__process_exit_stub"
+let thread_exit_stub = "__thread_exit_stub"
+
+(* crit_depth lives at offset 0 of the TLS block; the TLS register is
+   offset by the architecture-specific libc bias. *)
+let crit_rmw arch delta =
+  let s0 = List.nth (Arch.scratch arch) 0 in
+  let s1 = List.nth (Arch.scratch arch) 1 in
+  let off = -Arch.tls_offset arch in
+  [ Minstr.Tls_get s0;
+    Minstr.Load (s1, s0, off);
+    Minstr.Binopi (Add, s1, s1, Int64.of_int delta);
+    Minstr.Store (s1, s0, off) ]
+
+let functions arch =
+  let sc k = Minstr.Syscall (Arch.syscall_number arch k) in
+  let exit_stub =
+    (* Pass the function's return value (still in the return register) to
+       the exit syscall as its first argument. *)
+    let ret = Arch.ret_reg arch in
+    let arg0 = List.hd (Arch.arg_regs arch) in
+    (if ret = arg0 then [] else [ Minstr.Mov (arg0, ret) ]) @ [ sc `Exit; Minstr.Trap ]
+  in
+  [ (process_exit_stub, exit_stub);
+    (thread_exit_stub, exit_stub);
+    ("exit", [ sc `Exit; Minstr.Trap ]);
+    ("write", [ sc `Write; Minstr.Ret ]);
+    ("sbrk", [ sc `Sbrk; Minstr.Ret ]);
+    ("spawn", [ sc `Spawn; Minstr.Ret ]);
+    ("join", [ sc `Join; Minstr.Ret ]);
+    ("lock", (sc `Mutex_lock :: crit_rmw arch 1) @ [ Minstr.Ret ]);
+    ("unlock", crit_rmw arch (-1) @ [ sc `Mutex_unlock; Minstr.Ret ]);
+    ("clock", [ sc `Clock; Minstr.Ret ]);
+    ("yield", [ sc `Yield; Minstr.Ret ]) ]

@@ -1,0 +1,17 @@
+(** The runtime library compiled into every binary: syscall wrappers
+    (frameless leaves, like libc stubs) and the bottom-of-stack exit
+    stubs. Blocking wrappers ([join], [lock]) place the [Syscall] first so
+    that a blocked thread can be rolled back to the caller's call-site
+    equivalence point and simply re-execute the call after restore. *)
+
+open Dapper_isa
+
+(** Extern functions IR code may call directly: (name, arity). *)
+val externs : (string * int) list
+
+(** Wrapper and stub bodies for one architecture, in a fixed order
+    starting with the two exit stubs. *)
+val functions : Arch.t -> (string * Minstr.t list) list
+
+val process_exit_stub : string
+val thread_exit_stub : string

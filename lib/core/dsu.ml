@@ -1,0 +1,136 @@
+open Dapper_isa
+open Dapper_machine
+open Dapper_binary
+
+type error =
+  | Layout_incompatible of string
+  | Active_function of string
+  | Pause_failed of Monitor.error
+  | Transform_failed of string
+
+let error_to_string = function
+  | Layout_incompatible msg -> "layout incompatible: " ^ msg
+  | Active_function fn -> "thread suspended inside updated function " ^ fn
+  | Pause_failed e -> "pause failed: " ^ Monitor.error_to_string e
+  | Transform_failed msg -> "transform failed: " ^ msg
+
+let changed_functions ~(old_bin : Binary.t) ~(new_bin : Binary.t) =
+  List.filter_map
+    (fun (fm : Stackmap.func_map) ->
+      match Stackmap.find_func new_bin.bin_stackmaps fm.fm_name with
+      | None -> Some fm.fm_name (* removed function counts as changed *)
+      | Some fm' ->
+        if
+          fm.fm_code_size <> fm'.fm_code_size
+          || not (Int64.equal fm.fm_addr fm'.fm_addr)
+          || Binary.code_bytes old_bin fm.fm_addr fm.fm_code_size
+             <> Binary.code_bytes new_bin fm'.fm_addr fm'.fm_code_size
+        then Some fm.fm_name
+        else None)
+    old_bin.bin_stackmaps
+
+(* Symbols must not move: the process's data/heap may hold code and data
+   pointers that only stay valid under the unified layout. *)
+let check_layout ~(old_bin : Binary.t) ~(new_bin : Binary.t) =
+  let rec go = function
+    | [] -> Ok ()
+    | (s : Binary.symbol) :: rest ->
+      (match Binary.find_symbol new_bin s.sym_name with
+       | Some s' when Int64.equal s.sym_addr s'.sym_addr -> go rest
+       | Some s' ->
+         Error
+           (Layout_incompatible
+              (Printf.sprintf "%s moved from 0x%Lx to 0x%Lx" s.sym_name s.sym_addr
+                 s'.sym_addr))
+       | None -> Error (Layout_incompatible (s.sym_name ^ " disappeared")))
+  in
+  go old_bin.bin_symbols
+
+(* A changed function on some stack blocks the update, with one
+   exception (the classic function-entry update point): the innermost
+   frame parked at its ENTRY equivalence point may transfer into the new
+   version's entry, provided both versions record the same live-value
+   keys there — the rewriter then carries the arguments across and the
+   thread re-executes the new body. *)
+let entry_transferable ~(new_bin : Binary.t) (fr : Unwind.frame) =
+  fr.fr_ep.Stackmap.ep_kind = Stackmap.Entry
+  &&
+  match Stackmap.find_func new_bin.bin_stackmaps fr.fr_func.Stackmap.fm_name with
+  | None -> false
+  | Some fm' ->
+    (match Stackmap.eqpoint_by_id fm' fr.fr_ep.ep_id with
+     | None -> false
+     | Some ep' ->
+       let keys ep =
+         List.map (fun (lv : Stackmap.live_value) -> lv.Stackmap.lv_key) ep.Stackmap.ep_live
+         |> List.sort compare
+       in
+       keys fr.fr_ep = keys ep')
+
+let check_quiescent_outside ~new_bin changed stacks =
+  let rec scan = function
+    | [] -> Ok ()
+    | (ts : Unwind.thread_stack) :: rest ->
+      let frames = ts.Unwind.ts_frames in
+      let offending =
+        List.find_opt
+          (fun (fr : Unwind.frame) ->
+            List.mem fr.fr_func.Stackmap.fm_name changed
+            && not
+                 (match frames with
+                  | innermost :: _ -> fr == innermost && entry_transferable ~new_bin fr
+                  | [] -> false))
+          frames
+      in
+      (match offending with
+       | Some fr -> Error (Active_function fr.fr_func.Stackmap.fm_name)
+       | None -> scan rest)
+  in
+  scan stacks
+
+let update ?(retries = 16) (p : Process.t) ~old_bin ~new_bin =
+  if not (Arch.equal old_bin.Binary.bin_arch new_bin.Binary.bin_arch) then
+    Error (Layout_incompatible "architectures differ; use Rewrite for migration")
+  else
+    match check_layout ~old_bin ~new_bin with
+    | Error e -> Error e
+    | Ok () ->
+      let changed = changed_functions ~old_bin ~new_bin in
+      (* If a thread happens to be parked inside a changed function, let
+         the process run a little further and try again — the standard
+         DSU activeness dance. *)
+      let rec attempt n =
+        match Monitor.request_pause p ~budget:50_000_000 with
+        | Error e -> Error (Pause_failed e)
+        | Ok _ ->
+          (try
+             let image = Dapper_criu.Dump.dump p in
+             let stacks =
+               Unwind.unwind_all image old_bin.bin_stackmaps
+                 ~anchors:old_bin.bin_anchors
+             in
+             match check_quiescent_outside ~new_bin changed stacks with
+             | Error (Active_function _ as e) ->
+               if n = 0 then Error e
+               else begin
+                 Monitor.resume p;
+                 ignore (Process.run p ~max_instrs:1_000);
+                 attempt (n - 1)
+               end
+             | Error e -> Error e
+             | Ok () ->
+               let image', _ = Rewrite.rewrite image ~src:old_bin ~dst:new_bin in
+               Ok (Dapper_criu.Restore.restore image' new_bin)
+           with
+           | Dapper_criu.Dump.Dump_error msg
+           | Dapper_criu.Restore.Restore_error msg
+           | Rewrite.Rewrite_error msg
+           | Unwind.Unwind_error msg ->
+             Error (Transform_failed msg))
+      in
+      attempt retries
+
+let update_compiled p ~old_version ~new_version ~arch =
+  update p
+    ~old_bin:(Dapper_codegen.Link.binary_for old_version arch)
+    ~new_bin:(Dapper_codegen.Link.binary_for new_version arch)

@@ -1,0 +1,63 @@
+(** End-to-end live migration: pause -> dump -> rewrite -> copy ->
+    restore, with the paper's cost breakdown (Fig. 5/7: checkpoint,
+    recode, scp, restore).
+
+    Execution inside the simulator is instruction-accurate; the phase
+    times come from a calibrated cost model over the {e actual} work
+    performed (pages dumped, live values rewritten, bytes transferred),
+    so the shapes of the paper's figures — who wins, scaling with
+    footprint, vanilla-vs-lazy crossover — are reproduced from first
+    principles. [bytes_scale] compensates for the simulator's downscaled
+    working sets when paper-magnitude byte counts are wanted (see
+    EXPERIMENTS.md). *)
+
+open Dapper_binary
+open Dapper_machine
+open Dapper_net
+
+type phase_times = {
+  t_checkpoint_ms : float;  (** pause + dump *)
+  t_recode_ms : float;
+  t_scp_ms : float;
+  t_restore_ms : float;
+}
+
+val total_ms : phase_times -> float
+
+type page_server_stats = { mutable srv_pages : int; mutable srv_ns : float }
+
+type result = {
+  r_process : Process.t;          (** restored process on the destination *)
+  r_times : phase_times;
+  r_image_bytes : int;
+  r_rewrite : Rewrite.stats;
+  r_pause : Monitor.pause_stats;
+  r_page_server : page_server_stats option;  (** present in lazy mode *)
+}
+
+type error =
+  | Pause_failed of Monitor.error
+  | Transform_failed of string
+
+val error_to_string : error -> string
+
+(** Nanoseconds the recode phase takes on [node] for the given rewrite
+    work (exposed for Fig. 5's recode-on-x86 vs recode-on-arm rows). *)
+val recode_ns : Node.t -> ?bytes:int -> Rewrite.stats -> float
+
+(** Checkpoint/restore cost for an image of the given (scaled) size. *)
+val checkpoint_ms : bytes:int -> float
+val restore_ms : bytes:int -> float
+
+val migrate :
+  ?lazy_pages:bool ->
+  ?link:Link.t ->
+  ?recode_on:Node.t ->
+  ?bytes_scale:float ->
+  ?budget:int ->
+  src_node:Node.t ->
+  dst_node:Node.t ->
+  dst_bin:Binary.t ->
+  src_bin:Binary.t ->
+  Process.t ->
+  (result, error) Stdlib.result

@@ -1,0 +1,80 @@
+open Dapper_util
+open Dapper_machine
+open Dapper_binary
+
+type t =
+  | Identity
+  | Cross_isa of Binary.t
+  | Reshuffle of Rng.t
+  | Software_update of Binary.t
+
+let describe = function
+  | Identity -> "identity checkpoint/restore"
+  | Cross_isa b -> "cross-ISA migration to " ^ Dapper_isa.Arch.name b.Binary.bin_arch
+  | Reshuffle _ -> "stack re-randomization"
+  | Software_update b -> "software update onto " ^ b.Binary.bin_app
+
+type applied = {
+  ap_process : Process.t;
+  ap_binary : Binary.t;
+}
+
+type error =
+  | Pause_failed of Monitor.error
+  | Policy_failed of string
+
+let error_to_string = function
+  | Pause_failed e -> "pause failed: " ^ Monitor.error_to_string e
+  | Policy_failed msg -> "policy failed: " ^ msg
+
+let ensure_paused p =
+  if Process.all_quiescent p then Ok ()
+  else
+    match Monitor.request_pause p ~budget:50_000_000 with
+    | Ok _ -> Ok ()
+    | Error e -> Error (Pause_failed e)
+
+let apply p ~current policy =
+  match policy with
+  | Software_update new_bin ->
+    (* Dsu handles its own pause so it can refuse before transforming. *)
+    (match Dsu.update p ~old_bin:current ~new_bin with
+     | Ok q -> Ok { ap_process = q; ap_binary = new_bin }
+     | Error e -> Error (Policy_failed (Dsu.error_to_string e)))
+  | Identity | Cross_isa _ | Reshuffle _ ->
+    (match ensure_paused p with
+     | Error e -> Error e
+     | Ok () ->
+       (try
+          let image = Dapper_criu.Dump.dump p in
+          let dst =
+            match policy with
+            | Identity -> current
+            | Cross_isa b -> b
+            | Reshuffle rng -> fst (Shuffle.shuffle_binary rng current)
+            | Software_update _ -> assert false
+          in
+          let image', _ = Rewrite.rewrite image ~src:current ~dst in
+          let q = Dapper_criu.Restore.restore image' dst in
+          Ok { ap_process = q; ap_binary = dst }
+        with
+        | Dapper_criu.Dump.Dump_error msg
+        | Dapper_criu.Restore.Restore_error msg
+        | Rewrite.Rewrite_error msg
+        | Unwind.Unwind_error msg
+        | Shuffle.Shuffle_error msg ->
+          Error (Policy_failed msg)))
+
+let rerandomize_periodically p ~current ~rng ~interval ~epochs =
+  let rec go state epoch =
+    if epoch >= epochs then Ok (state, epoch)
+    else begin
+      match Process.run state.ap_process ~max_instrs:interval with
+      | Process.Exited_run _ | Process.Crashed _ | Process.Idle -> Ok (state, epoch)
+      | Process.Progress ->
+        (match apply state.ap_process ~current:state.ap_binary (Reshuffle rng) with
+         | Ok state' -> go state' (epoch + 1)
+         | Error e -> Error e)
+    end
+  in
+  go { ap_process = p; ap_binary = current } 0

@@ -1,0 +1,374 @@
+open Dapper_isa
+open Dapper_binary
+open Dapper_criu
+
+exception Rewrite_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Rewrite_error s)) fmt
+
+type stats = {
+  st_threads : int;
+  st_frames : int;
+  st_values : int;
+  st_ptrs_translated : int;
+  st_code_pages : int;
+  st_stack_bytes : int;
+}
+
+let work_items s =
+  s.st_frames + s.st_values + s.st_ptrs_translated + (s.st_code_pages * 8)
+  + (s.st_stack_bytes / 256)
+
+(* ----- mutable page store used while rebuilding the image ----- *)
+
+type store = {
+  pages : (int, Bytes.t) Hashtbl.t;            (* dumped pages *)
+  mutable lazies : Images.pagemap_entry list;  (* entries left on the source node *)
+}
+
+let store_of_image (is : Images.image_set) =
+  let pages = Hashtbl.create 256 in
+  let lazies = ref [] in
+  let cursor = ref 0 in
+  List.iter
+    (fun (e : Images.pagemap_entry) ->
+      if e.pm_in_dump then
+        for k = 0 to e.pm_npages - 1 do
+          let pn = Layout.page_of_addr e.pm_vaddr + k in
+          let b = Bytes.create Layout.page_size in
+          Bytes.blit_string is.is_pages !cursor b 0 Layout.page_size;
+          cursor := !cursor + Layout.page_size;
+          Hashtbl.replace pages pn b
+        done
+      else lazies := e :: !lazies)
+    is.is_pagemap;
+  { pages; lazies = List.rev !lazies }
+
+let store_page st pn =
+  match Hashtbl.find_opt st.pages pn with
+  | Some b -> b
+  | None -> fail "rewriter touched page %d which is not in the dump" pn
+
+let store_write_u64 st addr v =
+  let pn = Layout.page_of_addr addr in
+  let off = Layout.page_offset addr in
+  if off + 8 <= Layout.page_size then Bytes.set_int64_le (store_page st pn) off v
+  else
+    for k = 0 to 7 do
+      let a = Int64.add addr (Int64.of_int k) in
+      Bytes.set
+        (store_page st (Layout.page_of_addr a))
+        (Layout.page_offset a)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xFF))
+    done
+
+let store_write_bytes st addr s =
+  String.iteri
+    (fun k c ->
+      let a = Int64.add addr (Int64.of_int k) in
+      Bytes.set (store_page st (Layout.page_of_addr a)) (Layout.page_offset a) c)
+    s
+
+let is_code_page pn =
+  let a = Layout.addr_of_page pn in
+  Int64.compare a Layout.code_base >= 0 && Int64.compare a Layout.data_base < 0
+
+(* Emit a sorted pagemap + pages blob from the store. *)
+let store_to_image st =
+  let dumped = Hashtbl.fold (fun pn _ acc -> pn :: acc) st.pages [] |> List.sort compare in
+  let entries_dumped =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | pn :: rest ->
+        (match acc with
+         | { Images.pm_vaddr; pm_npages; pm_in_dump = true } :: acc_rest
+           when Layout.page_of_addr pm_vaddr + pm_npages = pn ->
+           go ({ Images.pm_vaddr; pm_npages = pm_npages + 1; pm_in_dump = true } :: acc_rest)
+             rest
+         | _ ->
+           go
+             ({ Images.pm_vaddr = Layout.addr_of_page pn; pm_npages = 1; pm_in_dump = true }
+              :: acc)
+             rest)
+    in
+    go [] dumped
+  in
+  let entries =
+    List.sort
+      (fun (a : Images.pagemap_entry) b -> Int64.compare a.pm_vaddr b.pm_vaddr)
+      (entries_dumped @ st.lazies)
+  in
+  let blob = Buffer.create (List.length dumped * Layout.page_size) in
+  List.iter
+    (fun (e : Images.pagemap_entry) ->
+      if e.pm_in_dump then
+        for k = 0 to e.pm_npages - 1 do
+          Buffer.add_bytes blob (Hashtbl.find st.pages (Layout.page_of_addr e.pm_vaddr + k))
+        done)
+    entries;
+  (entries, Buffer.contents blob)
+
+(* ----- destination frame placement ----- *)
+
+type dst_frame = {
+  df_src : Unwind.frame;
+  df_fm : Stackmap.func_map;
+  df_ep : Stackmap.eqpoint;
+  df_fp : int64;
+}
+
+(* Initial stack pointer a fresh thread starts with (before any implicit
+   return-address push), matching Process.setup_stack. *)
+let initial_sp tid = Int64.sub (Layout.stack_base_of_thread tid) 64L
+
+let place_frames dst_maps tid (ts : Unwind.thread_stack) =
+  let frames = List.rev ts.Unwind.ts_frames in
+  (* outermost first *)
+  let rec go sp acc = function
+    | [] -> List.rev acc
+    | (fr : Unwind.frame) :: rest ->
+      let fm =
+        match Stackmap.find_func dst_maps fr.fr_func.fm_name with
+        | Some fm -> fm
+        | None -> fail "function %s missing from destination stack maps" fr.fr_func.fm_name
+      in
+      let ep =
+        match Stackmap.eqpoint_by_id fm fr.fr_ep.ep_id with
+        | Some ep -> ep
+        | None ->
+          fail "equivalence point %d missing from %s on destination" fr.fr_ep.ep_id
+            fm.fm_name
+      in
+      let fp = Int64.sub sp 16L in
+      let sp' = Int64.sub fp (Int64.of_int fm.fm_frame_size) in
+      go sp' ({ df_src = fr; df_fm = fm; df_ep = ep; df_fp = fp } :: acc) rest
+  in
+  go (initial_sp tid) [] frames
+
+(* ----- the rewrite ----- *)
+
+let rewrite (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
+  if not (Arch.equal image.is_files.fi_arch src.bin_arch) then
+    fail "image architecture %s does not match source binary %s"
+      (Arch.name image.is_files.fi_arch) (Arch.name src.bin_arch);
+  if image.is_files.fi_app <> src.bin_app || src.bin_app <> dst.bin_app then
+    fail "application mismatch between image and binaries";
+  let src_maps = src.bin_stackmaps and dst_maps = dst.bin_stackmaps in
+  let dst_arch = dst.bin_arch in
+  let stacks = Unwind.unwind_all image src_maps ~anchors:src.bin_anchors in
+  let placed =
+    List.map (fun ts -> (ts, place_frames dst_maps ts.Unwind.ts_tid ts)) stacks
+  in
+  (* Global source-stack interval map for pointer translation. *)
+  let intervals = ref [] in
+  List.iter
+    (fun ((_ : Unwind.thread_stack), dframes) ->
+      List.iter
+        (fun df ->
+          List.iter
+            (fun (lv : Stackmap.live_value) ->
+              match lv.lv_loc with
+              | Stackmap.Frame src_off ->
+                (match
+                   List.find_opt
+                     (fun (dlv : Stackmap.live_value) -> dlv.lv_key = lv.lv_key)
+                     df.df_ep.ep_live
+                 with
+                 | Some { lv_loc = Stackmap.Frame dst_off; _ } ->
+                   let src_lo = Int64.add df.df_src.fr_fp (Int64.of_int src_off) in
+                   let dst_lo = Int64.add df.df_fp (Int64.of_int dst_off) in
+                   intervals :=
+                     (src_lo, Int64.add src_lo (Int64.of_int lv.lv_size), dst_lo)
+                     :: !intervals
+                 | Some { lv_loc = Stackmap.Reg _; _ } | None -> ())
+              | Stackmap.Reg _ -> ())
+            df.df_src.fr_ep.ep_live)
+        dframes)
+    placed;
+  let intervals = !intervals in
+  let ptrs_translated = ref 0 in
+  let translate v =
+    match
+      List.find_opt
+        (fun (lo, hi, _) -> Int64.compare v lo >= 0 && Int64.compare v hi < 0)
+        intervals
+    with
+    | Some (lo, _, dst_lo) ->
+      incr ptrs_translated;
+      Int64.add dst_lo (Int64.sub v lo)
+    | None -> v
+  in
+  let in_stack_region v =
+    Int64.compare v (Layout.stack_limit_of_thread (Layout.max_threads - 1)) >= 0
+    && Int64.compare v Layout.stack_top < 0
+  in
+  (* Build the new page store. *)
+  let st = store_of_image image in
+  (* Drop source execution-context code pages; the destination's are added
+     below. *)
+  let dropped =
+    Hashtbl.fold (fun pn _ acc -> if is_code_page pn then pn :: acc else acc) st.pages []
+  in
+  List.iter (Hashtbl.remove st.pages) dropped;
+  (* Zero the stack pages of every rewritten thread. *)
+  let stack_bytes = ref 0 in
+  List.iter
+    (fun (ts : Unwind.thread_stack) ->
+      let tid = ts.Unwind.ts_tid in
+      let first = Layout.page_of_addr (Layout.stack_limit_of_thread tid) in
+      let last = Layout.page_of_addr (Int64.sub (Layout.stack_base_of_thread tid) 1L) in
+      for pn = first to last do
+        match Hashtbl.find_opt st.pages pn with
+        | Some b ->
+          Bytes.fill b 0 Layout.page_size '\000';
+          stack_bytes := !stack_bytes + Layout.page_size
+        | None -> ()
+      done)
+    stacks;
+  let frames_count = ref 0 in
+  let values_count = ref 0 in
+  let rewrite_thread (ts : Unwind.thread_stack) (dframes : dst_frame list) =
+    let tid = ts.Unwind.ts_tid in
+    let ctx = Array.make 33 0L in
+    let deferred = ref [] in
+    let caller_fp = ref 0L in
+    let ret_addr =
+      ref
+        (if tid = 0 then dst.bin_anchors.a_exit_stub
+         else dst.bin_anchors.a_thread_exit_stub)
+    in
+    let n = List.length dframes in
+    List.iteri
+      (fun k df ->
+        incr frames_count;
+        let innermost = k = n - 1 in
+        let fp = df.df_fp in
+        (* return address per destination ABI *)
+        (match dst_arch with
+         | Arch.X86_64 -> store_write_u64 st (Int64.add fp 8L) !ret_addr
+         | Arch.Aarch64 ->
+           if df.df_fm.fm_leaf && innermost && not df.df_src.fr_at_call then
+             ctx.(30) <- !ret_addr
+           else store_write_u64 st (Int64.add fp 8L) !ret_addr);
+        (* caller frame-pointer chain *)
+        store_write_u64 st fp !caller_fp;
+        caller_fp := fp;
+        (* save area holds the caller's callee-saved register values *)
+        List.iter
+          (fun (r, off) -> store_write_u64 st (Int64.add fp (Int64.of_int off)) ctx.(r))
+          df.df_fm.fm_saved;
+        (* live values *)
+        List.iter
+          (fun (lv : Stackmap.live_value) ->
+            incr values_count;
+            let bytes =
+              match List.assoc_opt lv.lv_key df.df_src.fr_values with
+              | Some b -> b
+              | None ->
+                fail "%s: live value missing from source at ep %d" df.df_fm.fm_name
+                  df.df_ep.ep_id
+            in
+            if String.length bytes <> lv.lv_size then
+              fail "%s: live value size mismatch" df.df_fm.fm_name;
+            match lv.lv_loc with
+            | Stackmap.Reg r ->
+              let value = Dapper_util.Bytebuf.get_i64 bytes 0 in
+              if lv.lv_ty = Stackmap.Lv_ptr && in_stack_region value then
+                deferred := `Reg (ctx, r, value) :: !deferred;
+              ctx.(r) <- value
+            | Stackmap.Frame off ->
+              let base = Int64.add fp (Int64.of_int off) in
+              if lv.lv_ty = Stackmap.Lv_ptr then
+                for e = 0 to (lv.lv_size / 8) - 1 do
+                  let value = Dapper_util.Bytebuf.get_i64 bytes (e * 8) in
+                  let a = Int64.add base (Int64.of_int (e * 8)) in
+                  if in_stack_region value then deferred := `Mem (a, value) :: !deferred;
+                  store_write_u64 st a value
+                done
+              else store_write_bytes st base bytes)
+          df.df_ep.ep_live;
+        ret_addr := df.df_ep.ep_resume)
+      dframes;
+    (* Pointer translation pass: all destination frames are placed now. *)
+    List.iter
+      (function
+        | `Reg (ctx, r, value) -> ctx.(r) <- translate value
+        | `Mem (a, value) -> store_write_u64 st a (translate value))
+      !deferred;
+    let inner =
+      match List.rev dframes with
+      | inner :: _ -> inner
+      | [] -> fail "thread %d has no frames" tid
+    in
+    let pc =
+      if inner.df_src.fr_at_call then inner.df_ep.ep_addr else inner.df_ep.ep_resume
+    in
+    ctx.(Arch.fp dst_arch) <- inner.df_fp;
+    ctx.(Arch.sp dst_arch) <-
+      Int64.sub inner.df_fp (Int64.of_int inner.df_fm.fm_frame_size);
+    List.iteri
+      (fun idx value -> ctx.(List.nth (Arch.arg_regs dst_arch) idx) <- value)
+      ts.ts_arg_regs;
+    let tls =
+      Int64.add
+        (Int64.sub ts.ts_tls (Int64.of_int (Arch.tls_offset src.bin_arch)))
+        (Int64.of_int (Arch.tls_offset dst_arch))
+    in
+    { Images.tc_tid = tid; tc_arch = dst_arch; tc_regs = ctx; tc_pc = pc; tc_tls = tls }
+  in
+  let new_cores = List.map (fun (ts, dframes) -> rewrite_thread ts dframes) placed in
+  (* Destination execution-context code pages. *)
+  let code_pages = ref 0 in
+  List.iter
+    (fun (tc : Images.thread_core) ->
+      let pn = Layout.page_of_addr tc.tc_pc in
+      if not (Hashtbl.mem st.pages pn) then begin
+        incr code_pages;
+        let page = Bytes.make Layout.page_size '\000' in
+        (match Binary.find_section dst ".text" with
+         | Some s ->
+           let off = Int64.to_int (Int64.sub (Layout.addr_of_page pn) s.sec_addr) in
+           let len = String.length s.sec_data in
+           if off >= 0 && off < len then
+             Bytes.blit_string s.sec_data off page 0 (min Layout.page_size (len - off))
+         | None -> fail "destination binary has no text section");
+        Hashtbl.replace st.pages pn page
+      end)
+    new_cores;
+  (* Lower the transformation flag inside the image so restored threads do
+     not immediately re-trap. In lazy mode the flag's data page may not be
+     in the dump; the restorer also clears the flag in memory, which pulls
+     the page from the page server first. *)
+  if Hashtbl.mem st.pages (Layout.page_of_addr dst.bin_anchors.a_flag) then
+    store_write_u64 st dst.bin_anchors.a_flag 0L;
+  let entries, blob = store_to_image st in
+  (* VMA list: recompute the code VMAs, keep the rest. *)
+  let vmas =
+    List.filter
+      (fun (vma : Images.vma) -> vma.v_kind <> Images.Vk_code)
+      image.is_mm.mm_vmas
+    @ List.filter_map
+        (fun (e : Images.pagemap_entry) ->
+          if is_code_page (Layout.page_of_addr e.pm_vaddr) then
+            Some
+              { Images.v_start = e.pm_vaddr; v_npages = e.pm_npages;
+                v_kind = Images.Vk_code }
+          else None)
+        entries
+  in
+  let image' =
+    { Images.is_cores = new_cores;
+      is_mm = { image.is_mm with mm_vmas = vmas };
+      is_pagemap = entries;
+      is_pages = blob;
+      is_files = { Images.fi_app = dst.bin_app; fi_arch = dst_arch } }
+  in
+  let stats =
+    { st_threads = List.length new_cores;
+      st_frames = !frames_count;
+      st_values = !values_count;
+      st_ptrs_translated = !ptrs_translated;
+      st_code_pages = !code_pages;
+      st_stack_bytes = !stack_bytes }
+  in
+  (image', stats)

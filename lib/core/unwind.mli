@@ -1,0 +1,40 @@
+(** Stack unwinding over a dumped process image.
+
+    Walks each thread's call chain from the innermost paused frame
+    outwards (paper Section III-D2b: "DAPPER unwinds the outermost stack
+    frame inwards"; we walk innermost-out while recovering the
+    callee-saved register context each callee's prologue saved, which is
+    equivalent). For every frame it extracts the live values recorded in
+    the stack map at the frame's equivalence point, reading registers
+    from the recovered context and memory from the image. *)
+
+open Dapper_binary
+open Dapper_criu
+
+exception Unwind_error of string
+
+type frame = {
+  fr_func : Stackmap.func_map;
+  fr_ep : Stackmap.eqpoint;
+  fr_fp : int64;
+  fr_at_call : bool;
+      (** true for an innermost frame rolled back to re-execute its call *)
+  fr_values : (Stackmap.lv_key * string) list;
+      (** live value bytes, keyed by their cross-ISA identity *)
+}
+
+type thread_stack = {
+  ts_tid : int;
+  ts_frames : frame list;      (** innermost first *)
+  ts_arg_regs : int64 list;    (** argument registers live at an at-call pause *)
+  ts_tls : int64;
+}
+
+(** [unwind image maps tc] unwinds one thread; [maps] are the stack maps
+    of the binary the image was produced from. *)
+val unwind : Images.image_set -> Stackmap.func_map list -> anchors:Binary.anchors ->
+  Images.thread_core -> thread_stack
+
+(** All threads of an image. *)
+val unwind_all : Images.image_set -> Stackmap.func_map list -> anchors:Binary.anchors ->
+  thread_stack list

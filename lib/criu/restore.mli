@@ -1,0 +1,16 @@
+(** Restore: rebuild a runnable process from an image set.
+
+    The target binary must match the image's architecture and
+    application — restoring an unrewritten x86-64 image on an aarch64
+    node is rejected, which is exactly why Dapper's rewriter exists.
+
+    [page_source] serves lazily-migrated pages on first access (the page
+    server client); omit it for a vanilla (fully-copied) restore. *)
+
+open Dapper_binary
+open Dapper_machine
+
+exception Restore_error of string
+
+val restore :
+  ?page_source:(int -> bytes option) -> Images.image_set -> Binary.t -> Process.t

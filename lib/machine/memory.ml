@@ -1,0 +1,111 @@
+open Dapper_binary
+
+exception Segfault of int64
+
+type t = {
+  pages : (int, bytes) Hashtbl.t;
+  mutable fault_handler : (int -> bytes option) option;
+  mutable faults : int;
+}
+
+let create () = { pages = Hashtbl.create 256; fault_handler = None; faults = 0 }
+
+let set_fault_handler t h = t.fault_handler <- h
+let fault_count t = t.faults
+
+let map_page t pn data =
+  if Bytes.length data <> Layout.page_size then
+    invalid_arg "Memory.map_page: wrong page size";
+  Hashtbl.replace t.pages pn data
+
+let unmap_page t pn = Hashtbl.remove t.pages pn
+let is_mapped t pn = Hashtbl.mem t.pages pn
+
+let mapped_pages t =
+  Hashtbl.fold (fun pn _ acc -> pn :: acc) t.pages [] |> List.sort compare
+
+let page_contents t pn = Hashtbl.find_opt t.pages pn
+
+(* Resolve a page, consulting the fault handler for unmapped pages. *)
+let page t addr =
+  let pn = Layout.page_of_addr addr in
+  match Hashtbl.find_opt t.pages pn with
+  | Some p -> p
+  | None ->
+    (match t.fault_handler with
+     | Some h ->
+       (match h pn with
+        | Some data ->
+          if Bytes.length data <> Layout.page_size then
+            invalid_arg "Memory: fault handler returned wrong page size";
+          t.faults <- t.faults + 1;
+          Hashtbl.replace t.pages pn data;
+          data
+        | None -> raise (Segfault addr))
+     | None -> raise (Segfault addr))
+
+let read_u8 t addr =
+  let p = page t addr in
+  Char.code (Bytes.get p (Layout.page_offset addr))
+
+let write_u8 t addr v =
+  let p = page t addr in
+  Bytes.set p (Layout.page_offset addr) (Char.chr (v land 0xFF))
+
+let read_u64 t addr =
+  let off = Layout.page_offset addr in
+  if off + 8 <= Layout.page_size then begin
+    let p = page t addr in
+    Bytes.get_int64_le p off
+  end
+  else begin
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (read_u8 t (Int64.add addr (Int64.of_int i))))
+    done;
+    !v
+  end
+
+let write_u64 t addr v =
+  let off = Layout.page_offset addr in
+  if off + 8 <= Layout.page_size then begin
+    let p = page t addr in
+    Bytes.set_int64_le p off v
+  end
+  else
+    for i = 0 to 7 do
+      write_u8 t
+        (Int64.add addr (Int64.of_int i))
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+    done
+
+let read_bytes t addr len =
+  let b = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = Int64.add addr (Int64.of_int !pos) in
+    let off = Layout.page_offset a in
+    let chunk = min (len - !pos) (Layout.page_size - off) in
+    let p = page t a in
+    Bytes.blit p off b !pos chunk;
+    pos := !pos + chunk
+  done;
+  Bytes.to_string b
+
+let write_bytes t addr s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = Int64.add addr (Int64.of_int !pos) in
+    let off = Layout.page_offset a in
+    let chunk = min (len - !pos) (Layout.page_size - off) in
+    let p = page t a in
+    Bytes.blit_string s !pos p off chunk;
+    pos := !pos + chunk
+  done
+
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun pn data -> Hashtbl.replace pages pn (Bytes.copy data)) t.pages;
+  { pages; fault_handler = None; faults = 0 }

@@ -1,0 +1,41 @@
+(** Page-granular simulated memory with demand paging.
+
+    Reads and writes may cross page boundaries. Accessing an unmapped
+    page consults the fault handler (used both for demand-loading code
+    pages from the binary — CRIU does not dump clean code pages — and for
+    lazy post-copy migration, where missing pages are fetched from the
+    source node's page server). *)
+
+type t
+
+exception Segfault of int64
+
+(** [create ()] has no pages mapped and no fault handler. *)
+val create : unit -> t
+
+(** The handler receives the page number and returns the page contents,
+    or [None] to signal a true segfault. *)
+val set_fault_handler : t -> (int -> bytes option) option -> unit
+
+(** Number of pages the fault handler was invoked for (successfully). *)
+val fault_count : t -> int
+
+val map_page : t -> int -> bytes -> unit
+val unmap_page : t -> int -> unit
+val is_mapped : t -> int -> bool
+
+(** Mapped page numbers in increasing order. *)
+val mapped_pages : t -> int list
+
+(** Raw page contents (without triggering the fault handler). *)
+val page_contents : t -> int -> bytes option
+
+val read_u8 : t -> int64 -> int
+val read_u64 : t -> int64 -> int64
+val write_u8 : t -> int64 -> int -> unit
+val write_u64 : t -> int64 -> int64 -> unit
+val read_bytes : t -> int64 -> int -> string
+val write_bytes : t -> int64 -> string -> unit
+
+(** Deep copy (pages are duplicated). The fault handler is not copied. *)
+val copy : t -> t

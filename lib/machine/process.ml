@@ -1,0 +1,495 @@
+open Dapper_isa
+open Dapper_binary
+
+type thread_status =
+  | Runnable
+  | Blocked_join of int
+  | Blocked_lock of int64
+  | Trapped
+  | Stopped
+  | Exited of int64
+
+type thread = {
+  tid : int;
+  regs : int64 array;
+  mutable pc : int64;
+  mutable tls : int64;
+  mutable status : thread_status;
+  mutable instrs : int64;
+}
+
+type crash = { cr_tid : int; cr_pc : int64; cr_reason : string }
+
+type t = {
+  arch : Arch.t;
+  mem : Memory.t;
+  binary : Binary.t;
+  mutable threads : thread list;
+  mutable next_tid : int;
+  mutable brk : int64;
+  stdout_buf : Buffer.t;
+  mutable exit_code : int64 option;
+  mutable crash : crash option;
+  mutable total_instrs : int64;
+  decode_cache : (int64, Minstr.t * int) Hashtbl.t;
+}
+
+exception Exec_error of string
+
+let ( +% ) = Int64.add
+let ( -% ) = Int64.sub
+
+(* ----- demand paging: code pages from the binary, stack growth ----- *)
+
+let in_stack_region addr =
+  Int64.compare addr (Layout.stack_limit_of_thread (Layout.max_threads - 1)) >= 0
+  && Int64.compare addr Layout.stack_top < 0
+
+let install_code_paging mem (binary : Binary.t) =
+  let text = Binary.find_section binary ".text" in
+  let handler pn =
+    let addr = Layout.addr_of_page pn in
+    if Int64.compare addr Layout.code_base >= 0 && Int64.compare addr Layout.data_base < 0
+    then begin
+      let page = Bytes.make Layout.page_size '\000' in
+      (match text with
+       | Some s ->
+         let off = Int64.to_int (addr -% s.sec_addr) in
+         let len = String.length s.sec_data in
+         if off < len then begin
+           let n = min Layout.page_size (len - off) in
+           if off >= 0 then Bytes.blit_string s.sec_data off page 0 n
+         end
+       | None -> ());
+      Some page
+    end
+    else if in_stack_region addr then
+      (* stacks grow on demand; untouched pages never enter a dump *)
+      Some (Bytes.make Layout.page_size '\000')
+    else None
+  in
+  Memory.set_fault_handler mem (Some handler)
+
+(* ----- loading ----- *)
+
+let map_section mem (s : Binary.section) =
+  let len = String.length s.sec_data in
+  let first = Layout.page_of_addr s.sec_addr in
+  let last = Layout.page_of_addr (s.sec_addr +% Int64.of_int (max 0 (len - 1))) in
+  for pn = first to last do
+    if not (Memory.is_mapped mem pn) then
+      Memory.map_page mem pn (Bytes.make Layout.page_size '\000')
+  done;
+  Memory.write_bytes mem s.sec_addr s.sec_data
+
+let map_zero_range mem addr len =
+  let first = Layout.page_of_addr addr in
+  let last = Layout.page_of_addr (addr +% Int64.of_int (max 0 (len - 1))) in
+  for pn = first to last do
+    if not (Memory.is_mapped mem pn) then
+      Memory.map_page mem pn (Bytes.make Layout.page_size '\000')
+  done
+
+let setup_tls t tid =
+  let block = Layout.tls_block_of_thread tid in
+  map_zero_range t.mem block t.binary.bin_tls_size;
+  Memory.write_bytes t.mem block t.binary.bin_tls_init;
+  block +% Int64.of_int (Arch.tls_offset t.arch)
+
+(* A fresh thread's stack: sp starts a redzone below the region top, and
+   the bottom-of-stack return target is the given exit stub. On x86 the
+   stub address is pushed; on aarch64 it is placed in the link register. *)
+let setup_stack t tid ~stub =
+  let base = Layout.stack_base_of_thread tid in
+  (* map only the hot top; deeper pages fault in on demand *)
+  map_zero_range t.mem (base -% Int64.of_int (8 * Layout.page_size)) (8 * Layout.page_size);
+  let sp = base -% 64L in
+  match t.arch with
+  | Arch.X86_64 ->
+    let sp = sp -% 8L in
+    Memory.write_u64 t.mem sp stub;
+    sp
+  | Arch.Aarch64 -> sp
+
+let make_thread t ~tid ~pc ~stub =
+  let th =
+    { tid; regs = Array.make 33 0L; pc; tls = 0L; status = Runnable; instrs = 0L }
+  in
+  let sp = setup_stack t tid ~stub in
+  th.regs.(Arch.sp t.arch) <- sp;
+  (match Arch.link_reg t.arch with
+   | Some lr -> th.regs.(lr) <- stub
+   | None -> ());
+  th.tls <- setup_tls t tid;
+  th
+
+let load binary =
+  let mem = Memory.create () in
+  let t =
+    { arch = binary.Binary.bin_arch; mem; binary; threads = []; next_tid = 0;
+      brk = Layout.heap_base; stdout_buf = Buffer.create 256; exit_code = None;
+      crash = None; total_instrs = 0L; decode_cache = Hashtbl.create 4096 }
+  in
+  List.iter
+    (fun (s : Binary.section) -> if not s.sec_exec then map_section mem s)
+    binary.bin_sections;
+  install_code_paging mem binary;
+  let main = make_thread t ~tid:0 ~pc:binary.bin_anchors.a_entry
+      ~stub:binary.bin_anchors.a_exit_stub in
+  t.threads <- [ main ];
+  t.next_tid <- 1;
+  t
+
+let reconstruct binary mem ~threads ~brk =
+  install_code_paging mem binary;
+  let next_tid = 1 + List.fold_left (fun m th -> max m th.tid) 0 threads in
+  { arch = binary.Binary.bin_arch; mem; binary; threads; next_tid; brk;
+    stdout_buf = Buffer.create 256; exit_code = None; crash = None;
+    total_instrs = 0L; decode_cache = Hashtbl.create 4096 }
+
+(* ----- helpers ----- *)
+
+let stdout_contents t = Buffer.contents t.stdout_buf
+
+let thread t tid =
+  match List.find_opt (fun th -> th.tid = tid) t.threads with
+  | Some th -> th
+  | None -> raise (Exec_error (Printf.sprintf "no thread %d" tid))
+
+let live_threads t =
+  List.filter (fun th -> match th.status with Exited _ -> false | _ -> true) t.threads
+
+let all_quiescent t =
+  List.for_all
+    (fun th ->
+      match th.status with
+      | Trapped | Blocked_join _ | Blocked_lock _ | Stopped | Exited _ -> true
+      | Runnable -> false)
+    t.threads
+
+type vma_kind = Vma_code | Vma_data | Vma_tls | Vma_heap | Vma_stack of int
+
+let vma_kind_of_page t pn =
+  if not (Memory.is_mapped t.mem pn) then None
+  else
+    let addr = Layout.addr_of_page pn in
+    let within lo hi = Int64.compare addr lo >= 0 && Int64.compare addr hi < 0 in
+    if within Layout.code_base Layout.data_base then Some Vma_code
+    else if within Layout.data_base Layout.tls_base then Some Vma_data
+    else if within Layout.tls_base Layout.heap_base then Some Vma_tls
+    else if within Layout.heap_base (Layout.stack_limit_of_thread (Layout.max_threads - 1))
+    then Some Vma_heap
+    else if Int64.compare addr Layout.stack_top < 0 then begin
+      let off = Int64.to_int (Layout.stack_top -% addr) in
+      Some (Vma_stack ((off - 1) / Layout.stack_region))
+    end
+    else None
+
+(* ----- ptrace-like interface ----- *)
+
+let peek_data t addr = Memory.read_u64 t.mem addr
+let poke_data t addr v = Memory.write_u64 t.mem addr v
+
+let stop_thread t tid =
+  let th = thread t tid in
+  match th.status with
+  | Exited _ -> ()
+  | Runnable | Blocked_join _ | Blocked_lock _ | Trapped | Stopped ->
+    th.status <- Stopped
+
+let resume_thread t tid =
+  let th = thread t tid in
+  match th.status with
+  | Trapped | Stopped -> th.status <- Runnable
+  | Runnable | Blocked_join _ | Blocked_lock _ | Exited _ -> ()
+
+(* ----- interpreter ----- *)
+
+let fetch t (th : thread) =
+  match Hashtbl.find_opt t.decode_cache th.pc with
+  | Some r -> r
+  | None ->
+    let window = Memory.read_bytes t.mem th.pc 16 in
+    (match Encoding.decode t.arch window 0 with
+     | Some (i, sz) ->
+       let r = (i, sz) in
+       Hashtbl.replace t.decode_cache th.pc r;
+       r
+     | None ->
+       raise (Exec_error (Printf.sprintf "undecodable instruction at 0x%Lx" th.pc)))
+
+let f64 v = Int64.float_of_bits v
+let of_f64 v = Int64.bits_of_float v
+let bool64 b = if b then 1L else 0L
+
+let eval_binop (op : Minstr.binop) a b =
+  match op with
+  | Add -> a +% b
+  | Sub -> a -% b
+  | Mul -> Int64.mul a b
+  | Div -> if Int64.equal b 0L then raise (Exec_error "division by zero") else Int64.div a b
+  | Rem -> if Int64.equal b 0L then raise (Exec_error "division by zero") else Int64.rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Sar -> Int64.shift_right a (Int64.to_int b land 63)
+  | Fadd -> of_f64 (f64 a +. f64 b)
+  | Fsub -> of_f64 (f64 a -. f64 b)
+  | Fmul -> of_f64 (f64 a *. f64 b)
+  | Fdiv -> of_f64 (f64 a /. f64 b)
+  | Cmpeq -> bool64 (Int64.equal a b)
+  | Cmpne -> bool64 (not (Int64.equal a b))
+  | Cmplt -> bool64 (Int64.compare a b < 0)
+  | Cmple -> bool64 (Int64.compare a b <= 0)
+  | Cmpgt -> bool64 (Int64.compare a b > 0)
+  | Cmpge -> bool64 (Int64.compare a b >= 0)
+  | Cmpult -> bool64 (Int64.unsigned_compare a b < 0)
+  | Fcmpeq -> bool64 (Float.equal (f64 a) (f64 b))
+  | Fcmplt -> bool64 (f64 a < f64 b)
+  | Fcmple -> bool64 (f64 a <= f64 b)
+
+let eval_unop (op : Minstr.unop) a =
+  match op with
+  | Neg -> Int64.neg a
+  | Not -> Int64.lognot a
+  | Fneg -> of_f64 (-.f64 a)
+  | Sitofp -> of_f64 (Int64.to_float a)
+  | Fptosi -> Int64.of_float (f64 a)
+  | Fsqrt -> of_f64 (Float.sqrt (f64 a))
+
+(* Executes a syscall for [th]. Returns [true] if the pc should advance
+   (non-blocking path) or [false] if the thread blocked (pc stays on the
+   syscall so it retries when rescheduled). *)
+let exec_syscall t (th : thread) num =
+  let arg i = th.regs.(List.nth (Arch.arg_regs t.arch) i) in
+  let ret v = th.regs.(Arch.ret_reg t.arch) <- v in
+  match Arch.syscall_of_number t.arch num with
+  | None -> raise (Exec_error (Printf.sprintf "unknown syscall %d" num))
+  | Some `Exit ->
+    let code = arg 0 in
+    if th.tid = 0 then begin
+      t.exit_code <- Some code;
+      List.iter (fun o -> o.status <- Exited code) t.threads
+    end
+    else th.status <- Exited code;
+    true
+  | Some `Write ->
+    let addr = arg 1 and len = Int64.to_int (arg 2) in
+    Buffer.add_string t.stdout_buf (Memory.read_bytes t.mem addr len);
+    ret (Int64.of_int len);
+    true
+  | Some `Sbrk ->
+    let delta = Int64.to_int (arg 0) in
+    let old = t.brk in
+    if delta > 0 then begin
+      map_zero_range t.mem old delta;
+      t.brk <- old +% Int64.of_int delta
+    end;
+    ret old;
+    true
+  | Some `Spawn ->
+    let fn = arg 0 and a0 = arg 1 in
+    if t.next_tid >= Layout.max_threads then begin
+      ret (-1L);
+      true
+    end
+    else begin
+      let tid = t.next_tid in
+      t.next_tid <- tid + 1;
+      let child = make_thread t ~tid ~pc:fn ~stub:t.binary.bin_anchors.a_thread_exit_stub in
+      child.regs.(List.hd (Arch.arg_regs t.arch)) <- a0;
+      t.threads <- t.threads @ [ child ];
+      ret (Int64.of_int tid);
+      true
+    end
+  | Some `Join ->
+    let target = Int64.to_int (arg 0) in
+    (match List.find_opt (fun o -> o.tid = target) t.threads with
+     | Some { status = Exited v; _ } ->
+       ret v;
+       true
+     | Some _ ->
+       th.status <- Blocked_join target;
+       false
+     | None ->
+       ret (-1L);
+       true)
+  | Some `Mutex_lock ->
+    let addr = arg 0 in
+    if Int64.equal (Memory.read_u64 t.mem addr) 0L then begin
+      Memory.write_u64 t.mem addr (Int64.of_int (th.tid + 1));
+      ret 0L;
+      true
+    end
+    else begin
+      th.status <- Blocked_lock addr;
+      false
+    end
+  | Some `Mutex_unlock ->
+    Memory.write_u64 t.mem (arg 0) 0L;
+    ret 0L;
+    true
+  | Some `Clock ->
+    ret t.total_instrs;
+    true
+  | Some `Yield ->
+    ret 0L;
+    true
+
+let step_thread t (th : thread) =
+  let (i, sz) = fetch t th in
+  let next = th.pc +% Int64.of_int sz in
+  let set r v = th.regs.(r) <- v in
+  let get r = th.regs.(r) in
+  th.instrs <- th.instrs +% 1L;
+  t.total_instrs <- t.total_instrs +% 1L;
+  match i with
+  | Nop -> th.pc <- next
+  | Mov (d, s) -> set d (get s); th.pc <- next
+  | Movi (d, v) -> set d v; th.pc <- next
+  | Movk (d, v) ->
+    set d (Int64.logor (Int64.logand (get d) 0xFFFFFFFFL) (Int64.shift_left v 32));
+    th.pc <- next
+  | Binop (op, d, a, b) -> set d (eval_binop op (get a) (get b)); th.pc <- next
+  | Binopi (op, d, a, v) -> set d (eval_binop op (get a) v); th.pc <- next
+  | Unop (op, d, a) -> set d (eval_unop op (get a)); th.pc <- next
+  | Load (d, base, off) ->
+    set d (Memory.read_u64 t.mem (get base +% Int64.of_int off));
+    th.pc <- next
+  | Store (s, base, off) ->
+    Memory.write_u64 t.mem (get base +% Int64.of_int off) (get s);
+    th.pc <- next
+  | Load8 (d, base, off) ->
+    set d (Int64.of_int (Memory.read_u8 t.mem (get base +% Int64.of_int off)));
+    th.pc <- next
+  | Store8 (s, base, off) ->
+    Memory.write_u8 t.mem (get base +% Int64.of_int off) (Int64.to_int (get s) land 0xFF);
+    th.pc <- next
+  | Load_pair (d1, d2, base, off) ->
+    let b = get base in
+    set d1 (Memory.read_u64 t.mem (b +% Int64.of_int off));
+    set d2 (Memory.read_u64 t.mem (b +% Int64.of_int (off + 8)));
+    th.pc <- next
+  | Store_pair (s1, s2, base, off) ->
+    let b = get base in
+    Memory.write_u64 t.mem (b +% Int64.of_int off) (get s1);
+    Memory.write_u64 t.mem (b +% Int64.of_int (off + 8)) (get s2);
+    th.pc <- next
+  | Tls_get d -> set d th.tls; th.pc <- next
+  | Call target ->
+    (match t.arch with
+     | Arch.X86_64 ->
+       let sp = get (Arch.sp t.arch) -% 8L in
+       set (Arch.sp t.arch) sp;
+       Memory.write_u64 t.mem sp next
+     | Arch.Aarch64 -> set 30 next);
+    th.pc <- target
+  | Call_reg s ->
+    let target = get s in
+    (match t.arch with
+     | Arch.X86_64 ->
+       let sp = get (Arch.sp t.arch) -% 8L in
+       set (Arch.sp t.arch) sp;
+       Memory.write_u64 t.mem sp next
+     | Arch.Aarch64 -> set 30 next);
+    th.pc <- target
+  | Ret ->
+    (match t.arch with
+     | Arch.X86_64 ->
+       let sp = get (Arch.sp t.arch) in
+       th.pc <- Memory.read_u64 t.mem sp;
+       set (Arch.sp t.arch) (sp +% 8L)
+     | Arch.Aarch64 -> th.pc <- get 30)
+  | Jmp target -> th.pc <- target
+  | Jz (c, target) -> th.pc <- (if Int64.equal (get c) 0L then target else next)
+  | Jnz (c, target) -> th.pc <- (if Int64.equal (get c) 0L then next else target)
+  | Adjust_sp d ->
+    set (Arch.sp t.arch) (get (Arch.sp t.arch) +% Int64.of_int d);
+    th.pc <- next
+  | Trap ->
+    th.status <- Trapped;
+    th.pc <- next
+  | Syscall num -> if exec_syscall t th num then th.pc <- next
+
+type run_result =
+  | Progress
+  | Idle
+  | Exited_run of int64
+  | Crashed of crash
+
+let quantum = 64
+
+(* Retry a blocked thread's condition; promotes back to Runnable when the
+   blocking syscall would now succeed (the syscall re-executes). *)
+let poll_blocked t (th : thread) =
+  match th.status with
+  | Blocked_join target ->
+    (match List.find_opt (fun o -> o.tid = target) t.threads with
+     | Some { status = Exited _; _ } | None -> th.status <- Runnable
+     | Some _ -> ())
+  | Blocked_lock addr ->
+    if Int64.equal (Memory.read_u64 t.mem addr) 0L then th.status <- Runnable
+  | Runnable | Trapped | Stopped | Exited _ -> ()
+
+let run t ~max_instrs =
+  let budget = ref max_instrs in
+  let result = ref None in
+  while !result = None && !budget > 0 do
+    let progressed = ref false in
+    let threads = t.threads in
+    List.iter
+      (fun th ->
+        if !result = None then begin
+          poll_blocked t th;
+          if th.status = Runnable then begin
+            let slice = min quantum !budget in
+            (try
+               let n = ref 0 in
+               while !n < slice && th.status = Runnable && t.exit_code = None do
+                 step_thread t th;
+                 incr n
+               done;
+               if !n > 0 then progressed := true;
+               budget := !budget - !n
+             with
+             | Memory.Segfault addr ->
+               let c =
+                 { cr_tid = th.tid; cr_pc = th.pc;
+                   cr_reason = Printf.sprintf "segfault at 0x%Lx" addr }
+               in
+               t.crash <- Some c;
+               result := Some (Crashed c)
+             | Exec_error msg ->
+               let c = { cr_tid = th.tid; cr_pc = th.pc; cr_reason = msg } in
+               t.crash <- Some c;
+               result := Some (Crashed c));
+            match t.exit_code with
+            | Some code -> result := Some (Exited_run code)
+            | None -> ()
+          end
+        end)
+      threads;
+    match !result with
+    | Some _ -> ()
+    | None -> if not !progressed then result := Some Idle
+  done;
+  match !result with
+  | Some r -> r
+  | None -> Progress
+
+let run_to_completion t ~fuel =
+  let remaining = ref fuel in
+  let result = ref Progress in
+  let continue = ref true in
+  while !continue && !remaining > 0 do
+    let chunk = min 1_000_000 !remaining in
+    remaining := !remaining - chunk;
+    match run t ~max_instrs:chunk with
+    | Progress -> result := Progress
+    | (Idle | Exited_run _ | Crashed _) as r ->
+      result := r;
+      continue := false
+  done;
+  !result

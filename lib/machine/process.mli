@@ -1,0 +1,92 @@
+(** A simulated process: threads, memory, and the interpreter loop.
+
+    A process executes the machine code of exactly one architecture. The
+    Dapper runtime controls it through the ptrace-like API at the bottom
+    of this interface (peek/poke memory and registers, thread statuses),
+    mirroring how the real system drives a tracee (paper Section III-B/D2). *)
+
+open Dapper_isa
+open Dapper_binary
+
+type thread_status =
+  | Runnable
+  | Blocked_join of int     (** waiting for a thread to exit *)
+  | Blocked_lock of int64   (** waiting on the mutex at this address *)
+  | Trapped                 (** executed the breakpoint; held by the monitor *)
+  | Stopped                 (** SIGSTOP *)
+  | Exited of int64
+
+type thread = {
+  tid : int;
+  regs : int64 array;          (** indexed by DWARF register number *)
+  mutable pc : int64;
+  mutable tls : int64;         (** TLS base register (FS base / TPIDR) *)
+  mutable status : thread_status;
+  mutable instrs : int64;      (** instructions retired by this thread *)
+}
+
+type crash = { cr_tid : int; cr_pc : int64; cr_reason : string }
+
+type t = {
+  arch : Arch.t;
+  mem : Memory.t;
+  binary : Binary.t;
+  mutable threads : thread list;
+  mutable next_tid : int;
+  mutable brk : int64;
+  stdout_buf : Buffer.t;
+  mutable exit_code : int64 option;
+  mutable crash : crash option;
+  mutable total_instrs : int64;
+  decode_cache : (int64, Minstr.t * int) Hashtbl.t;
+}
+
+exception Exec_error of string
+
+(** [load binary] maps the data sections, arranges demand paging for code
+    pages, and creates the main thread poised at the entry symbol with the
+    process-exit stub as its bottom-of-stack return target. *)
+val load : Binary.t -> t
+
+(** [reconstruct binary mem ~threads ~brk] assembles a process from
+    restored state — the CRIU restore path. The caller is responsible for
+    memory contents and thread register state; code-page demand paging is
+    installed exactly as in [load]. *)
+val reconstruct : Binary.t -> Memory.t -> threads:thread list -> brk:int64 -> t
+
+type run_result =
+  | Progress   (** instruction budget exhausted, work remains *)
+  | Idle       (** no runnable thread (all trapped/blocked/stopped) *)
+  | Exited_run of int64
+  | Crashed of crash
+
+(** [run t ~max_instrs] interprets up to [max_instrs] instructions,
+    round-robin across runnable threads. Deterministic. *)
+val run : t -> max_instrs:int -> run_result
+
+(** [run_to_completion t ~fuel] keeps running until exit, crash, idleness
+    or the fuel limit. *)
+val run_to_completion : t -> fuel:int -> run_result
+
+val stdout_contents : t -> string
+val thread : t -> int -> thread
+val live_threads : t -> thread list
+
+(** All threads quiescent at monitor-visible stop states (trapped,
+    blocked, stopped or exited) — the condition for dumping. *)
+val all_quiescent : t -> bool
+
+(** Classification of mapped memory, used by the checkpointer. *)
+type vma_kind = Vma_code | Vma_data | Vma_tls | Vma_heap | Vma_stack of int
+
+val vma_kind_of_page : t -> int -> vma_kind option
+
+(** ptrace-like control interface. *)
+
+val peek_data : t -> int64 -> int64
+val poke_data : t -> int64 -> int64 -> unit
+val stop_thread : t -> int -> unit
+val resume_thread : t -> int -> unit
+
+(** Raw single-step of one thread (used by tests and the monitor). *)
+val step_thread : t -> thread -> unit

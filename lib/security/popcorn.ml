@@ -1,0 +1,142 @@
+open Dapper_clite
+open Cl
+open Dapper_ir
+
+(* Bodies are real loops and branches over runtime tables so the linked
+   code has the density and shape of an actual in-process transformation
+   library, not nop padding. *)
+
+let runtime_ir () =
+  let m = create "popcorn-rt" in
+  global m "st_regmap" (8 * 64);
+  global m "st_framecache" (8 * 256);
+  global m "st_symtab" (8 * 512);
+  global m "st_state" 8;
+  func m "st_hash" [ ("key", Ir.I64) ] (fun b ->
+      decl b "h" (mul (v "key") (i64 0x9E3779B97F4A7C15L));
+      set b "h" (bxor (v "h") (shr (v "h") (i 29)));
+      set b "h" (mul (v "h") (i64 0xBF58476D1CE4E5B9L));
+      ret b (bxor (v "h") (shr (v "h") (i 32))));
+  func m "st_lookup_symbol" [ ("addr", Ir.I64) ] (fun b ->
+      decl b "s" (band (call "st_hash" [ v "addr" ]) (i 511));
+      decl b "probes" (i 0);
+      while_ b (lt (v "probes") (i 512)) (fun b ->
+          decl b "cur" (idx (addr "st_symtab") (v "s"));
+          if_ b (eq (v "cur") (v "addr")) (fun b -> ret b (v "s"));
+          if_ b (eq (v "cur") (i 0)) (fun b -> ret b (neg (i 1)));
+          set b "s" (band (add (v "s") (i 1)) (i 511));
+          set b "probes" (add (v "probes") (i 1)));
+      ret b (neg (i 1)));
+  func m "st_insert_symbol" [ ("addr", Ir.I64) ] (fun b ->
+      decl b "s" (band (call "st_hash" [ v "addr" ]) (i 511));
+      while_ b (ne (idx (addr "st_symtab") (v "s")) (i 0)) (fun b ->
+          set b "s" (band (add (v "s") (i 1)) (i 511)));
+      store_idx b (addr "st_symtab") (v "s") (v "addr");
+      ret b (v "s"));
+  func m "st_translate_reg" [ ("src", Ir.I64); ("dir", Ir.I64) ] (fun b ->
+      decl b "base" (mul (v "dir") (i 32));
+      if_ b (bor (lt (v "src") (i 0)) (ge (v "src") (i 32))) (fun b ->
+          ret b (neg (i 1)));
+      ret b (idx (addr "st_regmap") (add (v "base") (v "src"))));
+  func m "st_init_regmap" [] (fun b ->
+      for_ b "r" (i 0) (i 32) (fun b ->
+          store_idx b (addr "st_regmap") (v "r") (rem_ (add (mul (v "r") (i 7)) (i 3)) (i 32));
+          store_idx b (addr "st_regmap") (add (i 32) (v "r"))
+            (rem_ (add (mul (v "r") (i 11)) (i 5)) (i 32)));
+      ret b (i 0));
+  func m "st_copy_words" [ ("dst", Ir.Ptr); ("src", Ir.Ptr); ("n", Ir.I64) ] (fun b ->
+      for_ b "k" (i 0) (v "n") (fun b ->
+          store_idx b (v "dst") (v "k") (idx (v "src") (v "k")));
+      ret b (v "n"));
+  func m "st_unwind_step" [ ("fp", Ir.Ptr) ] (fun b ->
+      (* read saved fp and return address from a frame record *)
+      decl b "caller" (deref (v "fp"));
+      decl b "ra" (deref (add (v "fp") (i 8)));
+      do_ b (call "st_insert_symbol" [ v "ra" ]);
+      ret b (v "caller"));
+  func m "st_translate_pointer" [ ("p", Ir.I64); ("lo", Ir.I64); ("hi", Ir.I64); ("dstbase", Ir.I64) ]
+    (fun b ->
+      if_ b (band (ge (v "p") (v "lo")) (lt (v "p") (v "hi"))) (fun b ->
+          ret b (add (v "dstbase") (sub (v "p") (v "lo"))));
+      ret b (v "p"));
+  func m "st_frame_size_of" [ ("fid", Ir.I64) ] (fun b ->
+      decl b "c" (idx (addr "st_framecache") (band (v "fid") (i 255)));
+      if_ b (ne (v "c") (i 0)) (fun b -> ret b (v "c"));
+      decl b "sz" (add (i 64) (mul (band (call "st_hash" [ v "fid" ]) (i 15)) (i 16)));
+      store_idx b (addr "st_framecache") (band (v "fid") (i 255)) (v "sz");
+      ret b (v "sz"));
+  func m "st_rewrite_frame"
+    [ ("src", Ir.Ptr); ("dst", Ir.Ptr); ("fid", Ir.I64); ("nvals", Ir.I64) ] (fun b ->
+      decl b "sz" (call "st_frame_size_of" [ v "fid" ]);
+      do_ b (call "st_copy_words" [ v "dst"; v "src"; div_ (v "sz") (i 8) ]);
+      for_ b "k" (i 0) (v "nvals") (fun b ->
+          decl b "loc" (call "st_translate_reg" [ band (v "k") (i 31); i 1 ]);
+          if_ b (ge (v "loc") (i 0)) (fun b ->
+              store_idx b (v "dst") (band (v "loc") (i 7))
+                (idx (v "src") (band (v "k") (i 7)))));
+      ret b (v "sz"));
+  func m "st_checksum_region" [ ("p", Ir.Ptr); ("n", Ir.I64) ] (fun b ->
+      decl b "acc" (i 0);
+      for_ b "k" (i 0) (v "n") (fun b ->
+          set b "acc" (bxor (mul (v "acc") (i 31)) (idx (v "p") (v "k"))));
+      ret b (v "acc"));
+  func m "st_page_align" [ ("a", Ir.I64) ] (fun b ->
+      ret b (band (add (v "a") (i 4095)) (bnot (i 4095))));
+  func m "st_encode_varint" [ ("p", Ir.Ptr); ("value", Ir.I64) ] (fun b ->
+      decl b "pos" (i 0);
+      decl b "x" (v "value");
+      while_ b (ge (v "x") (i 128)) (fun b ->
+          store_idx8 b (v "p") (v "pos") (bor (band (v "x") (i 127)) (i 128));
+          set b "x" (shr (v "x") (i 7));
+          set b "pos" (add (v "pos") (i 1)));
+      store_idx8 b (v "p") (v "pos") (v "x");
+      ret b (add (v "pos") (i 1)));
+  func m "st_decode_varint" [ ("p", Ir.Ptr) ] (fun b ->
+      decl b "x" (i 0);
+      decl b "shift" (i 0);
+      decl b "pos" (i 0);
+      while_ b (i 1) (fun b ->
+          decl b "byte" (idx8 (v "p") (v "pos"));
+          set b "x" (bor (v "x") (shl (band (v "byte") (i 127)) (v "shift")));
+          if_ b (eq (band (v "byte") (i 128)) (i 0)) (fun b -> ret b (v "x"));
+          set b "shift" (add (v "shift") (i 7));
+          set b "pos" (add (v "pos") (i 1)));
+      ret b (v "x"));
+  func m "st_migrate_begin" [ ("nframes", Ir.I64) ] (fun b ->
+      do_ b (call "st_init_regmap" []);
+      decl b "total" (i 0);
+      for_ b "k" (i 0) (v "nframes") (fun b ->
+          set b "total" (add (v "total") (call "st_frame_size_of" [ v "k" ])));
+      set b "st_state" (v "total");
+      ret b (v "total"));
+  func m "st_migrate_commit" [] (fun b ->
+      decl b "s" (v "st_state");
+      set b "st_state" (i 0);
+      ret b (v "s"));
+  (* metadata table maintenance, the bulk of a real migration runtime *)
+  for t = 0 to 5 do
+    let name = Printf.sprintf "st_table_pass_%d" t in
+    func m name [ ("lo", Ir.I64); ("hi", Ir.I64) ] (fun b ->
+        decl b "acc" (i (t + 1));
+        for_ b "k" (v "lo") (v "hi") (fun b ->
+            decl b "slot" (band (call "st_hash" [ add (v "k") (i (t * 97)) ]) (i 511));
+            decl b "cur" (idx (addr "st_symtab") (v "slot"));
+            if_ b (eq (band (v "cur") (i ((2 * t) + 1))) (i 0)) (fun b ->
+                store_idx b (addr "st_symtab") (v "slot")
+                  (bxor (v "cur") (add (v "k") (i t))));
+            set b "acc" (add (mul (v "acc") (i 33)) (v "cur")));
+        ret b (v "acc"))
+  done;
+  (* a spread of small helpers, the utility tail every runtime carries *)
+  for k = 0 to 23 do
+    let name = Printf.sprintf "st_util_%d" k in
+    func m name [ ("x", Ir.I64) ] (fun b ->
+        decl b "acc" (v "x");
+        for_ b "j" (i 0) (i (3 + k)) (fun b ->
+            set b "acc"
+              (bxor
+                 (add (mul (v "acc") (i ((2 * k) + 3))) (i ((k * 17) + 1)))
+                 (shr (v "acc") (i ((k mod 7) + 1)))));
+        ret b (v "acc"))
+  done;
+  finish m

@@ -1,0 +1,13 @@
+(** A synthetic Popcorn-Linux-style inline migration runtime.
+
+    Popcorn injects its cross-ISA state-transformation logic into every
+    application's address space (stack transformation library, register
+    translation, metadata lookup), which is exactly the attack surface
+    Dapper eliminates by rewriting processes externally (paper
+    Section IV-C). This module produces an IR library of equivalent
+    shape — unwinders, register translators, pointer fixups, metadata
+    hash lookups, frame copiers — that {!Dapper_codegen.Link.compile_with_inline_runtime}
+    links into a binary to form the Fig. 11 baseline. *)
+
+(** The inline-runtime IR (no [main]). *)
+val runtime_ir : unit -> Dapper_ir.Ir.modul

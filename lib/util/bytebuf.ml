@@ -1,0 +1,65 @@
+type t = Buffer.t
+
+let create n = Buffer.create n
+let length = Buffer.length
+let contents = Buffer.contents
+
+let of_string s =
+  let b = Buffer.create (String.length s) in
+  Buffer.add_string b s;
+  b
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let add_u16 b v =
+  add_u8 b v;
+  add_u8 b (v lsr 8)
+
+let add_u32 b v =
+  add_u16 b v;
+  add_u16 b (v lsr 16)
+
+let add_i64 b v =
+  for i = 0 to 7 do
+    add_u8 b (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+  done
+
+let add_bytes = Buffer.add_string
+
+let get_u8 s off = Char.code s.[off]
+let get_u16 s off = get_u8 s off lor (get_u8 s (off + 1) lsl 8)
+let get_u32 s off = get_u16 s off lor (get_u16 s (off + 2) lsl 16)
+
+let get_i64 s off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 s (off + i)))
+  done;
+  !v
+
+(* Buffer has no in-place mutation; rebuild via to_bytes once would be slow,
+   so we keep a Bytes view trick: Buffer does not expose it, so we implement
+   patching by copying out, patching, and re-adding. Patch targets are rare
+   (branch fixups during emission), so emitters instead reserve and rewrite
+   through these helpers that operate on the final byte image. *)
+let patch buf off bytes =
+  let s = Buffer.to_bytes buf in
+  Bytes.blit_string bytes 0 s off (String.length bytes);
+  Buffer.clear buf;
+  Buffer.add_bytes buf s
+
+let patch_u8 buf off v = patch buf off (String.make 1 (Char.chr (v land 0xFF)))
+
+let patch_u32 buf off v =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done;
+  patch buf off (Bytes.to_string b)
+
+let patch_i64 buf off v =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done;
+  patch buf off (Bytes.to_string b)

@@ -1,0 +1,33 @@
+(** Growable byte buffer with little-endian fixed-width accessors.
+
+    Used for machine-code emission, raw page contents, and image
+    serialization throughout the tree. *)
+
+type t
+
+val create : int -> t
+val length : t -> int
+val contents : t -> string
+val of_string : string -> t
+
+(** Appending. *)
+
+val add_u8 : t -> int -> unit
+val add_u16 : t -> int -> unit
+val add_u32 : t -> int -> unit
+val add_i64 : t -> int64 -> unit
+val add_bytes : t -> string -> unit
+
+(** Random-access reads over a string (decoder side). Raise
+    [Invalid_argument] when out of bounds. *)
+
+val get_u8 : string -> int -> int
+val get_u16 : string -> int -> int
+val get_u32 : string -> int -> int
+val get_i64 : string -> int -> int64
+
+(** In-place patching of already-emitted bytes. *)
+
+val patch_u8 : t -> int -> int -> unit
+val patch_u32 : t -> int -> int -> unit
+val patch_i64 : t -> int -> int64 -> unit

@@ -1,0 +1,33 @@
+let render ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)) row)
+    all;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b ("== " ^ title ^ " ==\n");
+  let add_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string b "  ";
+        Buffer.add_string b cell;
+        Buffer.add_string b (String.make (width.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char b '\n'
+  in
+  add_row header;
+  Buffer.add_string b (String.make (Array.fold_left ( + ) (2 * (ncols - 1)) width) '-');
+  Buffer.add_char b '\n';
+  List.iter add_row rows;
+  Buffer.contents b
+
+let print ~title ~header rows = print_string (render ~title ~header rows)
+
+let ms v =
+  if v >= 100.0 then Printf.sprintf "%.0f ms" v
+  else if v >= 1.0 then Printf.sprintf "%.1f ms" v
+  else Printf.sprintf "%.2f ms" v
+
+let pct v = Printf.sprintf "%+.1f%%" (v *. 100.0)

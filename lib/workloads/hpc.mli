@@ -1,0 +1,7 @@
+(** HPC and legacy benchmarks from the paper's suite: Linpack (dense LU
+    solve), Dhrystone (integer/string mix), and the K-means clustering
+    application. [scale] multiplies problem sizes (1 = default). *)
+
+val linpack : ?scale:int -> unit -> Dapper_ir.Ir.modul
+val dhrystone : ?scale:int -> unit -> Dapper_ir.Ir.modul
+val kmeans : ?scale:int -> unit -> Dapper_ir.Ir.modul

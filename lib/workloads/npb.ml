@@ -1,0 +1,331 @@
+open Dapper_clite
+open Cl
+
+type cls = A | B
+
+let cls_name = function A -> "A" | B -> "B"
+let scale = function A -> 1 | B -> 4
+
+(* ----- EP: gaussian deviates via the acceptance-rejection method ----- *)
+
+let ep cls =
+  let m = create (Printf.sprintf "npb-ep.%s" (cls_name cls)) in
+  Cstd.add m;
+  let n = 6000 * scale cls in
+  global m "counts" (8 * 10);
+  func m "pair" [] (fun b ->
+      (* one acceptance-rejection trial; returns 1 on acceptance *)
+      declf b "x" (fsub (fmul (f 2.0) (callf "frand" [])) (f 1.0));
+      declf b "y" (fsub (fmul (f 2.0) (callf "frand" [])) (f 1.0));
+      declf b "t" (fadd (fmul (v "x") (v "x")) (fmul (v "y") (v "y")));
+      if_ b (fle (v "t") (f 1.0)) (fun b ->
+          if_ b (flt (f 0.000001) (v "t")) (fun b ->
+              declf b "g" (sqrt_ (fdiv (fmul (f (-2.0)) (callf "fln" [ v "t" ])) (v "t")));
+              declf b "gx" (fmul (v "x") (v "g"));
+              declf b "gy" (fmul (v "y") (v "g"));
+              declf b "ax"
+                (callf "fmax_abs" [ v "gx"; v "gy" ]);
+              decl b "ring" (f2i (v "ax"));
+              if_ b (lt (v "ring") (i 10)) (fun b ->
+                  store_idx b (addr "counts") (v "ring")
+                    (add (idx (addr "counts") (v "ring")) (i 1)));
+              ret b (i 1)));
+      ret b (i 0));
+  func m "fmax_abs" [ ("a", Dapper_ir.Ir.F64); ("b2", Dapper_ir.Ir.F64) ] (fun b ->
+      declf b "aa" (v "a");
+      if_ b (flt (v "aa") (f 0.0)) (fun b -> set b "aa" (fneg (v "aa")));
+      declf b "bb" (v "b2");
+      if_ b (flt (v "bb") (f 0.0)) (fun b -> set b "bb" (fneg (v "bb")));
+      if_ b (flt (v "aa") (v "bb")) (fun b -> ret b (v "bb"));
+      ret b (v "aa"));
+  func m "main" [] (fun b ->
+      do_ b (call "rand_seed" [ i 271828 ]);
+      decl b "accepted" (i 0);
+      for_ b "k" (i 0) (i n) (fun b ->
+          set b "accepted" (add (v "accepted") (call "pair" [])));
+      Cstd.print b m "EP accepted=";
+      do_ b (call "print_int" [ v "accepted" ]);
+      do_ b (call "print_nl" []);
+      for_ b "r" (i 0) (i 10) (fun b ->
+          do_ b (call "print_int" [ idx (addr "counts") (v "r") ]);
+          Cstd.print b m " ");
+      do_ b (call "print_nl" []);
+      ret b (rem_ (v "accepted") (i 199)));
+  finish m
+
+(* ----- CG: conjugate gradient on a symmetric stencil matrix ----- *)
+
+let cg cls =
+  let m = create (Printf.sprintf "npb-cg.%s" (cls_name cls)) in
+  Cstd.add m;
+  let n = 700 * scale cls in
+  let iters = 20 in
+  func m "matvec" [ ("xp", Dapper_ir.Ir.Ptr); ("yp", Dapper_ir.Ir.Ptr); ("n", Dapper_ir.Ir.I64) ]
+    (fun b ->
+      (* y = A x with A = 4I - shift(1) - shift(-1) + 0.25*(shift(s)+shift(-s)) *)
+      decl b "s" (i 17);
+      for_ b "k" (i 0) (v "n") (fun b ->
+          declf b "acc" (fmul (f 4.0) (deref (add (v "xp") (mul (v "k") (i 8)))));
+          decl b "km" (rem_ (add (sub (v "k") (i 1)) (v "n")) (v "n"));
+          decl b "kp" (rem_ (add (v "k") (i 1)) (v "n"));
+          set b "acc" (fsub (v "acc") (idx (v "xp") (v "km")));
+          set b "acc" (fsub (v "acc") (idx (v "xp") (v "kp")));
+          decl b "ks" (rem_ (add (v "k") (v "s")) (v "n"));
+          decl b "ks2" (rem_ (add (sub (v "k") (v "s")) (v "n")) (v "n"));
+          set b "acc" (fadd (v "acc") (fmul (f 0.25) (idx (v "xp") (v "ks"))));
+          set b "acc" (fadd (v "acc") (fmul (f 0.25) (idx (v "xp") (v "ks2"))));
+          store_idx b (v "yp") (v "k") (v "acc")));
+  func m "dot" [ ("ap", Dapper_ir.Ir.Ptr); ("bp", Dapper_ir.Ir.Ptr); ("n", Dapper_ir.Ir.I64) ]
+    (fun b ->
+      declf b "s" (f 0.0);
+      for_ b "k" (i 0) (v "n") (fun b ->
+          set b "s" (fadd (v "s") (fmul (idx (v "ap") (v "k")) (idx (v "bp") (v "k")))));
+      ret b (v "s"));
+  func m "axpy"
+    [ ("yp", Dapper_ir.Ir.Ptr); ("a", Dapper_ir.Ir.F64); ("xp", Dapper_ir.Ir.Ptr);
+      ("n", Dapper_ir.Ir.I64) ] (fun b ->
+      for_ b "k" (i 0) (v "n") (fun b ->
+          store_idx b (v "yp") (v "k")
+            (fadd (idx (v "yp") (v "k")) (fmul (v "a") (idx (v "xp") (v "k"))))));
+  func m "main" [] (fun b ->
+      decl b "n" (i n);
+      declp b "x" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "r" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "p" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "q" (call "sbrk" [ mul (v "n") (i 8) ]);
+      (* random rhs (a constant vector is an eigenvector of the stencil
+         and would converge in one step); x = 0; r = b; p = r *)
+      do_ b (call "rand_seed" [ i 577215 ]);
+      for_ b "k" (i 0) (v "n") (fun b ->
+          declf b "bk" (callf "frand" []);
+          store_idx b (v "x") (v "k") (f 0.0);
+          store_idx b (v "r") (v "k") (v "bk");
+          store_idx b (v "p") (v "k") (v "bk"));
+      declf b "rho" (callf "dot" [ v "r"; v "r"; v "n" ]);
+      for_ b "it" (i 0) (i iters) (fun b ->
+          (* stop before rho underflows and alpha becomes 0/0 *)
+          if_ b (fle (v "rho") (f 1e-18)) (fun b -> break_ b);
+          do_ b (call "matvec" [ v "p"; v "q"; v "n" ]);
+          declf b "alpha" (fdiv (v "rho") (callf "dot" [ v "p"; v "q"; v "n" ]));
+          do_ b (call "axpy" [ v "x"; v "alpha"; v "p"; v "n" ]);
+          do_ b (call "axpy" [ v "r"; fneg (v "alpha"); v "q"; v "n" ]);
+          declf b "rho2" (callf "dot" [ v "r"; v "r"; v "n" ]);
+          declf b "beta" (fdiv (v "rho2") (v "rho"));
+          set b "rho" (v "rho2");
+          for_ b "k" (i 0) (v "n") (fun b ->
+              store_idx b (v "p") (v "k")
+                (fadd (idx (v "r") (v "k")) (fmul (v "beta") (idx (v "p") (v "k"))))));
+      Cstd.print b m "CG residual=";
+      do_ b (call "print_flt" [ sqrt_ (v "rho") ]);
+      do_ b (call "print_nl" []);
+      Cstd.print b m "CG x0=";
+      do_ b (call "print_flt" [ deref (v "x") ]);
+      do_ b (call "print_nl" []);
+      ret b (i 0));
+  finish m
+
+(* ----- MG: 1-D multigrid V-cycles ----- *)
+
+let mg cls =
+  let m = create (Printf.sprintf "npb-mg.%s" (cls_name cls)) in
+  Cstd.add m;
+  let n = 2048 * scale cls in
+  let cycles = 4 in
+  func m "smooth"
+    [ ("up", Dapper_ir.Ir.Ptr); ("fp", Dapper_ir.Ir.Ptr); ("n", Dapper_ir.Ir.I64);
+      ("steps", Dapper_ir.Ir.I64) ] (fun b ->
+      for_ b "s" (i 0) (v "steps") (fun b ->
+          for_ b "k" (i 1) (sub (v "n") (i 1)) (fun b ->
+              store_idx b (v "up") (v "k")
+                (fmul (f 0.5)
+                   (fadd (idx (v "fp") (v "k"))
+                      (fmul (f 0.5)
+                         (fadd
+                            (idx (v "up") (sub (v "k") (i 1)))
+                            (idx (v "up") (add (v "k") (i 1))))))))));
+  func m "residual"
+    [ ("up", Dapper_ir.Ir.Ptr); ("fp", Dapper_ir.Ir.Ptr); ("rp", Dapper_ir.Ir.Ptr);
+      ("n", Dapper_ir.Ir.I64) ] (fun b ->
+      store_idx b (v "rp") (i 0) (f 0.0);
+      store_idx b (v "rp") (sub (v "n") (i 1)) (f 0.0);
+      for_ b "k" (i 1) (sub (v "n") (i 1)) (fun b ->
+          store_idx b (v "rp") (v "k")
+            (fsub (idx (v "fp") (v "k"))
+               (fsub (fmul (f 2.0) (idx (v "up") (v "k")))
+                  (fadd
+                     (idx (v "up") (sub (v "k") (i 1)))
+                     (idx (v "up") (add (v "k") (i 1))))))));
+  func m "restrict_"
+    [ ("rp", Dapper_ir.Ir.Ptr); ("cp", Dapper_ir.Ir.Ptr); ("nc", Dapper_ir.Ir.I64) ] (fun b ->
+      for_ b "k" (i 0) (v "nc") (fun b ->
+          store_idx b (v "cp") (v "k") (idx (v "rp") (mul (v "k") (i 2)))));
+  func m "prolong"
+    [ ("cp", Dapper_ir.Ir.Ptr); ("up", Dapper_ir.Ir.Ptr); ("nc", Dapper_ir.Ir.I64) ] (fun b ->
+      for_ b "k" (i 0) (sub (v "nc") (i 1)) (fun b ->
+          decl b "k2" (mul (v "k") (i 2));
+          store_idx b (v "up") (v "k2")
+            (fadd (idx (v "up") (v "k2")) (idx (v "cp") (v "k")));
+          store_idx b (v "up") (add (v "k2") (i 1))
+            (fadd (idx (v "up") (add (v "k2") (i 1)))
+               (fmul (f 0.5)
+                  (fadd (idx (v "cp") (v "k")) (idx (v "cp") (add (v "k") (i 1))))))));
+  func m "main" [] (fun b ->
+      decl b "n" (i n);
+      declp b "u" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "fv" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "r" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "c" (call "sbrk" [ mul (div_ (v "n") (i 2)) (i 8) ]);
+      declp b "cu" (call "sbrk" [ mul (div_ (v "n") (i 2)) (i 8) ]);
+      do_ b (call "rand_seed" [ i 31415 ]);
+      for_ b "k" (i 0) (v "n") (fun b ->
+          store_idx b (v "u") (v "k") (f 0.0);
+          store_idx b (v "fv") (v "k") (fsub (callf "frand" []) (f 0.5)));
+      for_ b "cyc" (i 0) (i cycles) (fun b ->
+          do_ b (call "smooth" [ v "u"; v "fv"; v "n"; i 3 ]);
+          do_ b (call "residual" [ v "u"; v "fv"; v "r"; v "n" ]);
+          decl b "nc" (div_ (v "n") (i 2));
+          do_ b (call "restrict_" [ v "r"; v "c"; v "nc" ]);
+          for_ b "k" (i 0) (v "nc") (fun b -> store_idx b (v "cu") (v "k") (f 0.0));
+          do_ b (call "smooth" [ v "cu"; v "c"; v "nc"; i 6 ]);
+          do_ b (call "prolong" [ v "cu"; v "u"; v "nc" ]);
+          do_ b (call "smooth" [ v "u"; v "fv"; v "n"; i 3 ]));
+      do_ b (call "residual" [ v "u"; v "fv"; v "r"; v "n" ]);
+      declf b "norm" (f 0.0);
+      for_ b "k" (i 0) (v "n") (fun b ->
+          set b "norm" (fadd (v "norm") (fmul (idx (v "r") (v "k")) (idx (v "r") (v "k")))));
+      Cstd.print b m "MG rnorm=";
+      do_ b (call "print_flt" [ sqrt_ (v "norm") ]);
+      do_ b (call "print_nl" []);
+      ret b (i 0));
+  finish m
+
+(* ----- FT: iterative radix-2 FFT + checksum ----- *)
+
+let ft cls =
+  let m = create (Printf.sprintf "npb-ft.%s" (cls_name cls)) in
+  Cstd.add m;
+  let n = 512 * scale cls in
+  let log2n =
+    let rec go k acc = if 1 lsl acc >= k then acc else go k (acc + 1) in
+    go n 0
+  in
+  func m "bitrev" [ ("x", Dapper_ir.Ir.I64); ("bits", Dapper_ir.Ir.I64) ] (fun b ->
+      decl b "r" (i 0);
+      decl b "xx" (v "x");
+      for_ b "k" (i 0) (v "bits") (fun b ->
+          set b "r" (bor (shl (v "r") (i 1)) (band (v "xx") (i 1)));
+          set b "xx" (shr (v "xx") (i 1)));
+      ret b (v "r"));
+  func m "fft" [ ("re", Dapper_ir.Ir.Ptr); ("im", Dapper_ir.Ir.Ptr); ("n", Dapper_ir.Ir.I64) ]
+    (fun b ->
+      decl b "len" (i 2);
+      while_ b (le (v "len") (v "n")) (fun b ->
+          declf b "ang" (fdiv (f (-6.283185307179586)) (i2f (v "len")));
+          declf b "wr" (callf "fcos" [ v "ang" ]);
+          declf b "wi" (callf "fsin" [ v "ang" ]);
+          decl b "base" (i 0);
+          while_ b (lt (v "base") (v "n")) (fun b ->
+              declf b "cr" (f 1.0);
+              declf b "ci" (f 0.0);
+              for_ b "j" (i 0) (div_ (v "len") (i 2)) (fun b ->
+                  decl b "a" (add (v "base") (v "j"));
+                  decl b "c2" (add (v "a") (div_ (v "len") (i 2)));
+                  declf b "tr"
+                    (fsub (fmul (v "cr") (idx (v "re") (v "c2")))
+                       (fmul (v "ci") (idx (v "im") (v "c2"))));
+                  declf b "ti"
+                    (fadd (fmul (v "cr") (idx (v "im") (v "c2")))
+                       (fmul (v "ci") (idx (v "re") (v "c2"))));
+                  store_idx b (v "re") (v "c2") (fsub (idx (v "re") (v "a")) (v "tr"));
+                  store_idx b (v "im") (v "c2") (fsub (idx (v "im") (v "a")) (v "ti"));
+                  store_idx b (v "re") (v "a") (fadd (idx (v "re") (v "a")) (v "tr"));
+                  store_idx b (v "im") (v "a") (fadd (idx (v "im") (v "a")) (v "ti"));
+                  declf b "ncr" (fsub (fmul (v "cr") (v "wr")) (fmul (v "ci") (v "wi")));
+                  set b "ci" (fadd (fmul (v "cr") (v "wi")) (fmul (v "ci") (v "wr")));
+                  set b "cr" (v "ncr"));
+              set b "base" (add (v "base") (v "len")));
+          set b "len" (mul (v "len") (i 2))));
+  func m "main" [] (fun b ->
+      decl b "n" (i n);
+      declp b "re" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "im" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "re2" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "im2" (call "sbrk" [ mul (v "n") (i 8) ]);
+      do_ b (call "rand_seed" [ i 161803 ]);
+      for_ b "k" (i 0) (v "n") (fun b ->
+          store_idx b (v "re") (v "k") (fsub (callf "frand" []) (f 0.5));
+          store_idx b (v "im") (v "k") (f 0.0));
+      (* bit-reversal permutation into re2/im2, then in-place butterflies *)
+      for_ b "rep" (i 0) (i 3) (fun b ->
+          for_ b "k" (i 0) (v "n") (fun b ->
+              decl b "j" (call "bitrev" [ v "k"; i log2n ]);
+              store_idx b (v "re2") (v "j") (idx (v "re") (v "k"));
+              store_idx b (v "im2") (v "j") (idx (v "im") (v "k")));
+          do_ b (call "fft" [ v "re2"; v "im2"; v "n" ]);
+          (* feed a damped copy back for the next repetition *)
+          for_ b "k" (i 0) (v "n") (fun b ->
+              store_idx b (v "re") (v "k") (fmul (f 0.001) (idx (v "re2") (v "k")));
+              store_idx b (v "im") (v "k") (fmul (f 0.001) (idx (v "im2") (v "k")))));
+      declf b "cs" (f 0.0);
+      for_ b "k" (i 0) (v "n") (fun b ->
+          set b "cs"
+            (fadd (v "cs")
+               (fadd
+                  (fmul (idx (v "re2") (v "k")) (idx (v "re2") (v "k")))
+                  (fmul (idx (v "im2") (v "k")) (idx (v "im2") (v "k"))))));
+      Cstd.print b m "FT checksum=";
+      do_ b (call "print_flt" [ sqrt_ (v "cs") ]);
+      do_ b (call "print_nl" []);
+      ret b (i 0));
+  finish m
+
+(* ----- IS: counting sort ----- *)
+
+let is_ cls =
+  let m = create (Printf.sprintf "npb-is.%s" (cls_name cls)) in
+  Cstd.add m;
+  let n = 24_000 * scale cls in
+  let buckets = 1024 in
+  func m "fill" [ ("keys", Dapper_ir.Ir.Ptr); ("n", Dapper_ir.Ir.I64) ] (fun b ->
+      for_ b "k" (i 0) (v "n") (fun b ->
+          store_idx b (v "keys") (v "k") (band (call "rand_next" []) (i (buckets - 1)))));
+  func m "rank"
+    [ ("keys", Dapper_ir.Ir.Ptr); ("cnt", Dapper_ir.Ir.Ptr); ("out", Dapper_ir.Ir.Ptr);
+      ("n", Dapper_ir.Ir.I64) ] (fun b ->
+      for_ b "k" (i 0) (i buckets) (fun b -> store_idx b (v "cnt") (v "k") (i 0));
+      for_ b "k" (i 0) (v "n") (fun b ->
+          decl b "key" (idx (v "keys") (v "k"));
+          store_idx b (v "cnt") (v "key") (add (idx (v "cnt") (v "key")) (i 1)));
+      decl b "pos" (i 0);
+      for_ b "k" (i 0) (i buckets) (fun b ->
+          decl b "c" (idx (v "cnt") (v "k"));
+          store_idx b (v "cnt") (v "k") (v "pos");
+          set b "pos" (add (v "pos") (v "c")));
+      for_ b "k" (i 0) (v "n") (fun b ->
+          decl b "key" (idx (v "keys") (v "k"));
+          decl b "p" (idx (v "cnt") (v "key"));
+          store_idx b (v "out") (v "p") (v "key");
+          store_idx b (v "cnt") (v "key") (add (v "p") (i 1))));
+  func m "main" [] (fun b ->
+      decl b "n" (i n);
+      declp b "keys" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "out" (call "sbrk" [ mul (v "n") (i 8) ]);
+      declp b "cnt" (call "sbrk" [ i (8 * buckets) ]);
+      do_ b (call "rand_seed" [ i 141421 ]);
+      decl b "bad" (i 0);
+      for_ b "rep" (i 0) (i 3) (fun b ->
+          do_ b (call "fill" [ v "keys"; v "n" ]);
+          do_ b (call "rank" [ v "keys"; v "cnt"; v "out"; v "n" ]);
+          for_ b "k" (i 1) (v "n") (fun b ->
+              if_ b (gt (idx (v "out") (sub (v "k") (i 1))) (idx (v "out") (v "k")))
+                (fun b -> set b "bad" (add (v "bad") (i 1)))));
+      decl b "sum" (i 0);
+      for_ b "k" (i 0) (v "n") (fun b ->
+          set b "sum" (add (v "sum") (mul (idx (v "out") (v "k")) (v "k"))));
+      Cstd.print b m "IS bad=";
+      do_ b (call "print_int" [ v "bad" ]);
+      Cstd.print b m " checksum=";
+      do_ b (call "print_int" [ rem_ (v "sum") (i 1000003) ]);
+      do_ b (call "print_nl" []);
+      ret b (v "bad"));
+  finish m

@@ -1,0 +1,8 @@
+(** PARSEC-style multi-threaded C applications (paper Fig. 6): option
+    pricing (blackscholes), Monte-Carlo swaption pricing (swaptions) and
+    online clustering (streamcluster). Each spawns [threads] workers that
+    partition the input and reduce under a mutex. *)
+
+val blackscholes : ?scale:int -> ?threads:int -> unit -> Dapper_ir.Ir.modul
+val swaptions : ?scale:int -> ?threads:int -> unit -> Dapper_ir.Ir.modul
+val streamcluster : ?scale:int -> ?threads:int -> unit -> Dapper_ir.Ir.modul

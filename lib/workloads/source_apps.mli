@@ -1,0 +1,5 @@
+(** Workloads written in clite {e source text} and compiled through the
+    textual front-end ({!Dapper_clite.Parse}), exercising the full
+    source-to-migration pipeline. *)
+
+val nbody : ?scale:int -> unit -> Dapper_ir.Ir.modul

@@ -1,0 +1,27 @@
+(* Shared compiled fixtures for test suites. *)
+
+module Link = Dapper_codegen.Link
+
+let compute_cache = ref None
+
+let other_cache = ref None
+
+let other_app () =
+  match !other_cache with
+  | Some c -> c
+  | None ->
+    let sp = Dapper_workloads.Registry.find "dhrystone" in
+    let c =
+      Link.compile ~app:"dhrystone" (Lazy.force sp.Dapper_workloads.Registry.sp_modul)
+    in
+    other_cache := Some c;
+    c
+
+let compute () =
+  match !compute_cache with
+  | Some c -> c
+  | None ->
+    let sp = Dapper_workloads.Registry.find "nginx" in
+    let c = Link.compile ~app:"nginx" (Lazy.force sp.Dapper_workloads.Registry.sp_modul) in
+    compute_cache := Some c;
+    c

@@ -1,0 +1,181 @@
+open Dapper_isa
+open Dapper_clite
+open Dapper_codegen
+open Dapper_machine
+open Cl
+
+let check = Alcotest.check
+
+let run_both ?(fuel = 50_000_000) m ~code ~out =
+  let compiled = Link.compile ~app:m.Dapper_ir.Ir.m_name m in
+  List.iter
+    (fun arch ->
+      let p = Process.load (Link.binary_for compiled arch) in
+      match Process.run_to_completion p ~fuel with
+      | Process.Exited_run c ->
+        check Alcotest.int (Printf.sprintf "%s exit" (Arch.name arch)) code (Int64.to_int c);
+        check Alcotest.string (Printf.sprintf "%s out" (Arch.name arch)) out
+          (Process.stdout_contents p)
+      | Process.Crashed c ->
+        Alcotest.fail
+          (Printf.sprintf "crash on %s: pc=0x%Lx %s" (Arch.name arch) c.cr_pc c.cr_reason)
+      | Process.Idle -> Alcotest.fail "deadlock"
+      | Process.Progress -> Alcotest.fail "out of fuel")
+    Arch.all
+
+let test_print_int () =
+  let m = create "t_print_int" in
+  Cstd.add m;
+  func m "main" [] (fun b ->
+      do_ b (call "print_int" [ i 0 ]);
+      do_ b (call "print_nl" []);
+      do_ b (call "print_int" [ i 12345 ]);
+      do_ b (call "print_nl" []);
+      do_ b (call "print_int" [ i (-987) ]);
+      do_ b (call "print_nl" []);
+      ret b (i 0));
+  run_both (finish m) ~code:0 ~out:"0\n12345\n-987\n"
+
+let test_print_flt () =
+  let m = create "t_print_flt" in
+  Cstd.add m;
+  func m "main" [] (fun b ->
+      do_ b (call "print_flt" [ f 3.25 ]);
+      do_ b (call "print_nl" []);
+      do_ b (call "print_flt" [ f (-0.5) ]);
+      do_ b (call "print_nl" []);
+      do_ b (call "print_flt" [ f 2.0 ]);
+      do_ b (call "print_nl" []);
+      ret b (i 0));
+  run_both (finish m) ~code:0 ~out:"3.250\n-0.500\n2.000\n"
+
+let test_fib () =
+  let m = create "t_fib" in
+  Cstd.add m;
+  func m "fib" [ ("n", Dapper_ir.Ir.I64) ] (fun b ->
+      if_ b (le (v "n") (i 1)) (fun b -> ret b (v "n"));
+      ret b (add (call "fib" [ sub (v "n") (i 1) ]) (call "fib" [ sub (v "n") (i 2) ])));
+  func m "main" [] (fun b -> ret b (call "fib" [ i 12 ]));
+  run_both (finish m) ~code:144 ~out:""
+
+let test_string_ops () =
+  let m = create "t_str" in
+  Cstd.add m;
+  let hello = str_lit m "hello\000" in
+  func m "main" [] (fun b ->
+      decl b "len" (call "strlen8" [ addr hello ]);
+      decl_arr b "buf" 2;
+      do_ b (call "memcpy8" [ addr "buf"; addr hello; v "len" ]);
+      do_ b (call "print_str" [ addr "buf"; v "len" ]);
+      do_ b (call "print_nl" []);
+      ret b (v "len"));
+  run_both (finish m) ~code:5 ~out:"hello\n"
+
+let test_heap () =
+  let m = create "t_heap" in
+  Cstd.add m;
+  func m "main" [] (fun b ->
+      (* allocate 100 slots on the heap, fill with squares, sum some *)
+      declp b "h" (call "sbrk" [ i 800 ]);
+      for_ b "k" (i 0) (i 100) (fun b ->
+          store_idx b (v "h") (v "k") (mul (v "k") (v "k")));
+      decl b "sum" (i 0);
+      for_ b "k" (i 0) (i 100) (fun b ->
+          set b "sum" (add (v "sum") (idx (v "h") (v "k"))));
+      ret b (rem_ (v "sum") (i 251)));
+  (* sum of squares 0..99 = 328350; 328350 mod 251 = 78 *)
+  run_both (finish m) ~code:(328350 mod 251) ~out:""
+
+let test_break_continue () =
+  let m = create "t_break" in
+  Cstd.add m;
+  func m "main" [] (fun b ->
+      decl b "acc" (i 0);
+      for_ b "k" (i 0) (i 100) (fun b ->
+          if_ b (eq (rem_ (v "k") (i 2)) (i 0)) (fun b -> continue_ b);
+          if_ b (gt (v "k") (i 10)) (fun b -> break_ b);
+          set b "acc" (add (v "acc") (v "k")));
+      (* odd numbers 1..9: 1+3+5+7+9 = 25 *)
+      ret b (v "acc"));
+  run_both (finish m) ~code:25 ~out:""
+
+let test_nested_loops () =
+  let m = create "t_nest" in
+  Cstd.add m;
+  func m "main" [] (fun b ->
+      decl b "acc" (i 0);
+      for_ b "a" (i 0) (i 10) (fun b ->
+          for_ b "c" (i 0) (i 10) (fun b ->
+              if_ b (eq (v "c") (i 5)) (fun b -> break_ b);
+              set b "acc" (add (v "acc") (i 1))));
+      ret b (v "acc"));
+  run_both (finish m) ~code:50 ~out:""
+
+let test_float_kernel () =
+  let m = create "t_fkernel" in
+  Cstd.add m;
+  func m "main" [] (fun b ->
+      declf b "s" (f 0.0);
+      for_ b "k" (i 1) (i 100) (fun b ->
+          set b "s" (fadd (v "s") (fdiv (f 1.0) (i2f (mul (v "k") (v "k"))))));
+      (* pi^2/6 ~ 1.6449; partial sum to 99 ~ 1.6349 *)
+      do_ b (call "print_flt" [ v "s" ]);
+      do_ b (call "print_nl" []);
+      ret b (f2i (fmul (v "s") (f 100.0))));
+  run_both (finish m) ~code:163 ~out:"1.634\n"
+
+let test_tls_threads () =
+  let m = create "t_tls_threads" in
+  Cstd.add m;
+  tls_var m "mystate" 8;
+  global m "total" 8;
+  global m "mtx" 8;
+  func m "worker" [ ("seed", Dapper_ir.Ir.I64) ] (fun b ->
+      set b "mystate" (v "seed");
+      for_ b "k" (i 0) (i 50) (fun b ->
+          set b "mystate" (add (v "mystate") (i 1)));
+      do_ b (call "lock" [ addr "mtx" ]);
+      set b "total" (add (v "total") (v "mystate"));
+      do_ b (call "unlock" [ addr "mtx" ]);
+      ret b (i 0));
+  func m "main" [] (fun b ->
+      decl b "t1" (call "spawn" [ fnptr "worker"; i 100 ]);
+      decl b "t2" (call "spawn" [ fnptr "worker"; i 200 ]);
+      do_ b (call "join" [ v "t1" ]);
+      do_ b (call "join" [ v "t2" ]);
+      (* 150 + 250 = 400 *)
+      ret b (v "total"));
+  run_both (finish m) ~code:400 ~out:""
+
+let test_function_pointers () =
+  let m = create "t_fptr" in
+  Cstd.add m;
+  func m "sq" [ ("x", Dapper_ir.Ir.I64) ] (fun b -> ret b (mul (v "x") (v "x")));
+  func m "cube" [ ("x", Dapper_ir.Ir.I64) ] (fun b ->
+      ret b (mul (v "x") (mul (v "x") (v "x"))));
+  func m "apply" [ ("fn", Dapper_ir.Ir.Ptr); ("x", Dapper_ir.Ir.I64) ] (fun b ->
+      ret b (call_ptr (v "fn") [ v "x" ]));
+  func m "main" [] (fun b ->
+      ret b (add (call "apply" [ fnptr "sq"; i 3 ]) (call "apply" [ fnptr "cube"; i 2 ])));
+  run_both (finish m) ~code:17 ~out:""
+
+let test_validation_catches_unknown_var () =
+  let m = create "t_bad" in
+  check Alcotest.bool "raises" true
+    (match func m "main" [] (fun b -> ret b (v "nonexistent")) with
+     | exception Cl.Clite_error _ -> true
+     | () -> false)
+
+let suites =
+  [ ( "clite",
+      [ Alcotest.test_case "print_int" `Quick test_print_int;
+        Alcotest.test_case "print_flt" `Quick test_print_flt;
+        Alcotest.test_case "fib" `Quick test_fib;
+        Alcotest.test_case "string ops" `Quick test_string_ops;
+        Alcotest.test_case "heap" `Quick test_heap;
+        Alcotest.test_case "break/continue" `Quick test_break_continue;
+        Alcotest.test_case "nested loops" `Quick test_nested_loops;
+        Alcotest.test_case "float kernel" `Quick test_float_kernel;
+        Alcotest.test_case "tls threads" `Quick test_tls_threads;
+        Alcotest.test_case "function pointers" `Quick test_function_pointers;
+        Alcotest.test_case "validation" `Quick test_validation_catches_unknown_var ] ) ]

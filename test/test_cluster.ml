@@ -1,0 +1,102 @@
+open Dapper_cluster
+
+let check = Alcotest.check
+
+let kinds =
+  [ { Scheduler.jk_name = "cg"; jk_xeon_ms = 9000.0; jk_rpi_ms = 25000.0; jk_migration_ms = 1500.0 };
+    { Scheduler.jk_name = "mg"; jk_xeon_ms = 12000.0; jk_rpi_ms = 33000.0; jk_migration_ms = 1800.0 };
+    { Scheduler.jk_name = "ep"; jk_xeon_ms = 7000.0; jk_rpi_ms = 20000.0; jk_migration_ms = 1200.0 };
+    { Scheduler.jk_name = "ft"; jk_xeon_ms = 5000.0; jk_rpi_ms = 14000.0; jk_migration_ms = 1100.0 } ]
+
+let base_config =
+  { Scheduler.c_window_ms = Scheduler.default_window_ms; c_xeon_slots = 7; c_rpis = 0;
+    c_rpi_slots_each = 3 }
+
+let test_baseline_sane () =
+  let r = Scheduler.run base_config kinds in
+  check Alcotest.bool "jobs done" true (r.r_jobs_done > 0);
+  check Alcotest.bool "all on xeon" true (r.r_jobs_rpi = 0 && r.r_jobs_xeon = r.r_jobs_done);
+  check Alcotest.bool "energy positive" true (r.r_energy_kj > 0.0)
+
+let test_pis_improve_efficiency_and_throughput () =
+  let base = Scheduler.run base_config kinds in
+  let one = Scheduler.run { base_config with c_rpis = 1 } kinds in
+  let three = Scheduler.run { base_config with c_rpis = 3 } kinds in
+  check Alcotest.bool "1 pi adds jobs" true (one.r_jobs_done > base.r_jobs_done);
+  check Alcotest.bool "3 pis add more jobs" true (three.r_jobs_done > one.r_jobs_done);
+  check Alcotest.bool "1 pi improves jobs/kJ" true
+    (Scheduler.efficiency_gain_pct ~baseline:base ~subject:one > 0.0);
+  check Alcotest.bool "3 pis improve jobs/kJ" true
+    (Scheduler.efficiency_gain_pct ~baseline:base ~subject:three > 0.0);
+  (* paper's bands: efficiency +15-39%, throughput +37-52% for 3 Pis;
+     allow slack around them *)
+  let eff3 = Scheduler.efficiency_gain_pct ~baseline:base ~subject:three in
+  let thr3 = Scheduler.throughput_gain_pct ~baseline:base ~subject:three in
+  check Alcotest.bool (Printf.sprintf "eff3 %.1f%% plausible" eff3) true
+    (eff3 > 5.0 && eff3 < 80.0);
+  check Alcotest.bool (Printf.sprintf "thr3 %.1f%% plausible" thr3) true
+    (thr3 > 15.0 && thr3 < 90.0)
+
+let test_migration_overhead_hurts () =
+  let cheap = Scheduler.run { base_config with c_rpis = 1 } kinds in
+  let pricey =
+    Scheduler.run { base_config with c_rpis = 1 }
+      (List.map (fun k -> { k with Scheduler.jk_migration_ms = 20_000.0 }) kinds)
+  in
+  check Alcotest.bool "higher migration cost, fewer jobs" true
+    (pricey.r_jobs_done < cheap.r_jobs_done)
+
+let test_window_scaling () =
+  let short = Scheduler.run { base_config with c_window_ms = 60_000.0 } kinds in
+  let long = Scheduler.run base_config kinds in
+  check Alcotest.bool "longer window, more jobs" true (long.r_jobs_done > short.r_jobs_done)
+
+(* ----- the process-level fleet (real jobs, real migrations) ----- *)
+
+let fleet_config =
+  { Fleet.default_config with
+    f_window_ms = 14_000.0; f_quantum_ms = 50.0; f_xeon_slots = 3;
+    f_rpis = 1; f_rpi_slots_each = 2; f_speed_scale = 4200.0 }
+
+let fleet_jobs () = [ Registry_helpers.compute () ]
+
+let test_fleet_eviction_happens () =
+  let st = Fleet.run fleet_config (fleet_jobs ()) in
+  check Alcotest.bool "jobs completed" true (st.f_jobs_done > 0);
+  check Alcotest.bool "evictions happened" true (st.f_evictions > 0);
+  check Alcotest.bool "some jobs finished on the rpi" true (st.f_jobs_done_rpi > 0);
+  check Alcotest.bool "migration time accounted" true (st.f_migration_ms_total > 0.0)
+
+let test_fleet_eviction_beats_baseline () =
+  let with_evict = Fleet.run fleet_config (fleet_jobs ()) in
+  let without = Fleet.run { fleet_config with f_evict = false } (fleet_jobs ()) in
+  check Alcotest.bool "throughput improves" true
+    (with_evict.f_jobs_done > without.f_jobs_done);
+  check Alcotest.bool "efficiency improves" true
+    (with_evict.f_jobs_per_kj > without.f_jobs_per_kj)
+
+let test_fleet_edge_configs () =
+  (* no Pis and eviction disabled must behave like the xeon-only baseline *)
+  let jobs = fleet_jobs () in
+  let no_pis = Fleet.run { fleet_config with f_rpis = 0 } jobs in
+  check Alcotest.int "no pis, no evictions" 0 no_pis.f_evictions;
+  check Alcotest.int "no pis, nothing on rpi" 0 no_pis.f_jobs_done_rpi;
+  let no_evict = Fleet.run { fleet_config with f_evict = false } jobs in
+  check Alcotest.int "eviction off" 0 no_evict.f_evictions;
+  check Alcotest.bool "pis idle but drawing idle power" true
+    (no_evict.f_energy_kj > no_pis.f_energy_kj);
+  check Alcotest.bool "empty job list rejected" true
+    (match Fleet.run fleet_config [] with
+     | exception Fleet.Fleet_error _ -> true
+     | _ -> false)
+
+let suites =
+  [ ( "cluster",
+      [ Alcotest.test_case "baseline sane" `Quick test_baseline_sane;
+        Alcotest.test_case "pis improve" `Quick test_pis_improve_efficiency_and_throughput;
+        Alcotest.test_case "migration overhead" `Quick test_migration_overhead_hurts;
+        Alcotest.test_case "window scaling" `Quick test_window_scaling;
+        Alcotest.test_case "fleet: real evictions" `Slow test_fleet_eviction_happens;
+        Alcotest.test_case "fleet: eviction beats baseline" `Slow
+          test_fleet_eviction_beats_baseline;
+        Alcotest.test_case "fleet: edge configurations" `Quick test_fleet_edge_configs ] ) ]

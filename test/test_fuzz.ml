@@ -1,0 +1,158 @@
+(* Differential compiler fuzzing: generate random clite programs and
+   require bit-identical behaviour on both ISAs, plus migration
+   transparency on a sample of them. This is the deepest invariant the
+   whole system rests on (one IR, two equivalent encodings). *)
+
+open Dapper_isa
+open Dapper_machine
+open Dapper_clite
+open Cl
+module Link = Dapper_codegen.Link
+
+let check = Alcotest.check
+
+(* -- random program generator over the Cl builder -- *)
+
+type genctx = {
+  rng : Dapper_util.Rng.t;
+  mutable vars : string list;    (* i64 locals *)
+  mutable fresh : int;
+}
+
+let pick ctx l = List.nth l (Dapper_util.Rng.int ctx.rng (List.length l))
+
+let rec gen_expr ctx depth : Cl.expr =
+  if depth = 0 || ctx.vars = [] && depth < 2 then
+    if ctx.vars <> [] && Dapper_util.Rng.bool ctx.rng then v (pick ctx ctx.vars)
+    else i (Dapper_util.Rng.int ctx.rng 1000 - 500)
+  else
+    match Dapper_util.Rng.int ctx.rng 10 with
+    | 0 -> add (gen_expr ctx (depth - 1)) (gen_expr ctx (depth - 1))
+    | 1 -> sub (gen_expr ctx (depth - 1)) (gen_expr ctx (depth - 1))
+    | 2 -> mul (gen_expr ctx (depth - 1)) (band (gen_expr ctx (depth - 1)) (i 63))
+    | 3 ->
+      (* guarded division *)
+      div_ (gen_expr ctx (depth - 1)) (bor (band (gen_expr ctx (depth - 1)) (i 255)) (i 1))
+    | 4 ->
+      rem_ (gen_expr ctx (depth - 1)) (bor (band (gen_expr ctx (depth - 1)) (i 255)) (i 1))
+    | 5 -> bxor (gen_expr ctx (depth - 1)) (gen_expr ctx (depth - 1))
+    | 6 -> shl (gen_expr ctx (depth - 1)) (band (gen_expr ctx (depth - 1)) (i 7))
+    | 7 -> lt (gen_expr ctx (depth - 1)) (gen_expr ctx (depth - 1))
+    | 8 when ctx.vars <> [] -> v (pick ctx ctx.vars)
+    | _ -> i (Dapper_util.Rng.int ctx.rng 100)
+
+let rec gen_stmt ctx b depth =
+  match Dapper_util.Rng.int ctx.rng 8 with
+  | 0 | 1 ->
+    let name = Printf.sprintf "v%d" ctx.fresh in
+    ctx.fresh <- ctx.fresh + 1;
+    decl b name (gen_expr ctx 3);
+    ctx.vars <- name :: ctx.vars
+  | 2 | 3 when ctx.vars <> [] ->
+    set b (pick ctx ctx.vars) (gen_expr ctx 3)
+  | 4 when depth > 0 ->
+    if_else b (gen_expr ctx 2)
+      (fun b -> gen_block ctx b (depth - 1))
+      (fun b -> gen_block ctx b (depth - 1))
+  | 5 when depth > 0 && ctx.vars <> [] ->
+    (* bounded loop via a fresh counter *)
+    let name = Printf.sprintf "v%d" ctx.fresh in
+    ctx.fresh <- ctx.fresh + 1;
+    let body_target = pick ctx ctx.vars in
+    for_ b name (i 0) (i (1 + Dapper_util.Rng.int ctx.rng 8)) (fun b ->
+        set b body_target (add (v body_target) (gen_expr ctx 2)))
+  | 6 ->
+    (* call through the helper function *)
+    let name = Printf.sprintf "v%d" ctx.fresh in
+    ctx.fresh <- ctx.fresh + 1;
+    decl b name (call "mixer" [ gen_expr ctx 2; gen_expr ctx 2 ]);
+    ctx.vars <- name :: ctx.vars
+  | _ when ctx.vars <> [] ->
+    set b (pick ctx ctx.vars) (call "mixer" [ v (pick ctx ctx.vars); gen_expr ctx 2 ])
+  | _ ->
+    let name = Printf.sprintf "v%d" ctx.fresh in
+    ctx.fresh <- ctx.fresh + 1;
+    decl b name (i 1);
+    ctx.vars <- name :: ctx.vars
+
+and gen_block ctx b depth =
+  let n = 1 + Dapper_util.Rng.int ctx.rng 4 in
+  for _ = 1 to n do
+    gen_stmt ctx b depth
+  done
+
+let gen_program seed =
+  let rng = Dapper_util.Rng.create (Int64.of_int seed) in
+  let m = create (Printf.sprintf "fuzz%d" seed) in
+  Cstd.add m;
+  func m "mixer" [ ("a", Dapper_ir.Ir.I64); ("b2", Dapper_ir.Ir.I64) ] (fun b ->
+      ret b (bxor (add (v "a") (mul (v "b2") (i 31))) (shr (v "a") (i 5))));
+  func m "main" [] (fun b ->
+      let ctx = { rng; vars = []; fresh = 0 } in
+      decl b "out" (i 0);
+      ctx.vars <- [ "out" ];
+      gen_block ctx b 3;
+      List.iter
+        (fun name -> set b "out" (bxor (v "out") (v name)))
+        ctx.vars;
+      do_ b (call "print_int" [ v "out" ]);
+      do_ b (call "print_nl" []);
+      ret b (band (v "out") (i 127)));
+  finish m
+
+let run_one compiled arch =
+  let p = Process.load (Link.binary_for compiled arch) in
+  match Process.run_to_completion p ~fuel:5_000_000 with
+  | Process.Exited_run code -> Ok (code, Process.stdout_contents p)
+  | Process.Crashed cr -> Error ("crash: " ^ cr.cr_reason)
+  | Process.Idle -> Error "deadlock"
+  | Process.Progress -> Error "fuel"
+
+let test_differential_fuzz () =
+  for seed = 1 to 60 do
+    let m = gen_program seed in
+    let compiled = Link.compile ~app:m.Dapper_ir.Ir.m_name m in
+    match (run_one compiled Arch.X86_64, run_one compiled Arch.Aarch64) with
+    | Ok a, Ok b ->
+      check Alcotest.bool (Printf.sprintf "seed %d equivalent" seed) true (a = b)
+    | Error e, _ | _, Error e ->
+      Alcotest.fail (Printf.sprintf "seed %d failed: %s" seed e)
+  done
+
+let test_fuzz_migration () =
+  (* a sample of generated programs must also migrate transparently *)
+  for seed = 61 to 72 do
+    let m = gen_program seed in
+    let compiled = Link.compile ~app:m.Dapper_ir.Ir.m_name m in
+    match run_one compiled Arch.Aarch64 with
+    | Error e -> Alcotest.fail (Printf.sprintf "seed %d native: %s" seed e)
+    | Ok (code, out) ->
+      let p = Process.load compiled.Link.cp_x86 in
+      (match Process.run p ~max_instrs:300 with
+       | Process.Progress ->
+         (match Dapper.Monitor.request_pause p ~budget:10_000_000 with
+          | Error _ -> () (* program too short to pause; fine *)
+          | Ok _ ->
+            let image = Dapper_criu.Dump.dump p in
+            let image', _ =
+              Dapper.Rewrite.rewrite image ~src:compiled.Link.cp_x86
+                ~dst:compiled.Link.cp_arm
+            in
+            let q = Dapper_criu.Restore.restore image' compiled.Link.cp_arm in
+            (match Process.run_to_completion q ~fuel:5_000_000 with
+             | Process.Exited_run v ->
+               check Alcotest.bool (Printf.sprintf "seed %d migrated" seed) true
+                 (Int64.equal v code
+                  && String.equal (Process.stdout_contents p ^ Process.stdout_contents q)
+                       out)
+             | _ -> Alcotest.fail (Printf.sprintf "seed %d migrated run failed" seed)))
+       | Process.Exited_run v ->
+         check Alcotest.bool (Printf.sprintf "seed %d short" seed) true (Int64.equal v code)
+       | _ -> Alcotest.fail (Printf.sprintf "seed %d warmup failed" seed))
+  done
+
+let suites =
+  [ ( "fuzz",
+      [ Alcotest.test_case "differential x86 vs arm (60 programs)" `Quick
+          test_differential_fuzz;
+        Alcotest.test_case "migration on random programs" `Quick test_fuzz_migration ] ) ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "dapper"
+    (Test_util.suites
+     @ Test_isa.suites
+     @ Test_codegen.suites
+     @ Test_clite.suites
+     @ Test_dapper.suites
+     @ Test_workloads.suites
+     @ Test_security.suites
+     @ Test_cluster.suites
+     @ Test_proto.suites
+     @ Test_machine.suites
+     @ Test_criu.suites
+     @ Test_monitor.suites
+     @ Test_policy.suites
+     @ Test_rewrite.suites
+     @ Test_parse.suites
+     @ Test_fuzz.suites
+     @ Test_net.suites
+     @ Test_stackmap_invariants.suites)

@@ -1,0 +1,36 @@
+open Dapper_net
+
+let check = Alcotest.check
+
+let test_link_transfer_math () =
+  (* 1.2 GB/s: 1.2e9 bytes in 1s; transfer of 12 MB ~ 10ms + 30us latency *)
+  let ns = Link.transfer_ns Link.infiniband 12_000_000 in
+  check Alcotest.bool "12MB over IB ~ 10ms" true (ns > 9.0e6 && ns < 11.0e6);
+  check Alcotest.bool "latency floor" true
+    (Link.transfer_ns Link.infiniband 0 >= 30.0e3);
+  check Alcotest.bool "gigabit slower" true
+    (Link.transfer_ns Link.gigabit 12_000_000 > ns)
+
+let test_page_fetch_latency_dominated () =
+  let one_page = Link.page_fetch_ns Link.infiniband 4096 in
+  (* round trip 60us dominates the ~3.4us payload *)
+  check Alcotest.bool "latency dominated" true (one_page > 60.0e3 && one_page < 80.0e3)
+
+let test_node_power_model () =
+  (* paper: 108 W at 7 busy Xeon threads; 5.1 W at 3 busy Pi threads *)
+  check (Alcotest.float 1.0) "xeon@7" 108.0 (Node.power_w Node.xeon ~busy:7);
+  check (Alcotest.float 0.2) "rpi@3" 5.1 (Node.power_w Node.rpi ~busy:3);
+  check Alcotest.bool "capped at core count" true
+    (Node.power_w Node.rpi ~busy:100 = Node.power_w Node.rpi ~busy:4)
+
+let test_exec_speed_ratio () =
+  let instrs = 1_000_000L in
+  let ratio = Node.exec_ns Node.rpi instrs /. Node.exec_ns Node.xeon instrs in
+  check Alcotest.bool "pi ~2.8x slower" true (ratio > 2.5 && ratio < 3.1)
+
+let suites =
+  [ ( "net",
+      [ Alcotest.test_case "link transfer math" `Quick test_link_transfer_math;
+        Alcotest.test_case "page fetch latency" `Quick test_page_fetch_latency_dominated;
+        Alcotest.test_case "node power model" `Quick test_node_power_model;
+        Alcotest.test_case "exec speed ratio" `Quick test_exec_speed_ratio ] ) ]

@@ -1,0 +1,96 @@
+open Dapper_proto
+open Dapper_util
+
+let check = Alcotest.check
+
+let test_varint_boundaries () =
+  List.iter
+    (fun v ->
+      let b = Bytebuf.create 16 in
+      Proto.encode_varint b v;
+      let v', n = Proto.decode_varint (Bytebuf.contents b) 0 in
+      check Alcotest.bool (Printf.sprintf "varint %Ld" v) true
+        (Int64.equal v v' && n = Bytebuf.length b))
+    [ 0L; 1L; 127L; 128L; 300L; 16383L; 16384L; Int64.max_int; -1L; Int64.min_int ]
+
+let test_varint_sizes () =
+  let size v =
+    let b = Bytebuf.create 16 in
+    Proto.encode_varint b v;
+    Bytebuf.length b
+  in
+  check Alcotest.int "0 is 1 byte" 1 (size 0L);
+  check Alcotest.int "127 is 1 byte" 1 (size 127L);
+  check Alcotest.int "128 is 2 bytes" 2 (size 128L);
+  check Alcotest.int "-1 is 10 bytes" 10 (size (-1L))
+
+let test_truncated_varint () =
+  check Alcotest.bool "truncated" true
+    (match Proto.decode_varint "\x80\x80" 0 with
+     | exception Proto.Decode_error _ -> true
+     | _ -> false)
+
+let test_message_roundtrip () =
+  let fields =
+    [ Proto.v_int 1 42L; Proto.v_fix 2 0xDEADBEEFL; Proto.v_str 3 "hello";
+      Proto.v_msg 4 [ Proto.v_int 1 7L ]; Proto.v_int 5 (-1L) ]
+  in
+  let decoded = Proto.decode (Proto.encode fields) in
+  check Alcotest.bool "int" true (Proto.get_int decoded 1 = 42L);
+  check Alcotest.bool "fix" true (Proto.get_fix decoded 2 = 0xDEADBEEFL);
+  check Alcotest.string "str" "hello" (Proto.get_str decoded 3);
+  check Alcotest.bool "nested" true (Proto.get_int (Proto.get_msg decoded 4) 1 = 7L);
+  check Alcotest.bool "negative varint" true (Proto.get_int decoded 5 = -1L)
+
+let test_repeated_fields () =
+  let fields = [ Proto.v_int 7 1L; Proto.v_int 7 2L; Proto.v_int 7 3L ] in
+  let decoded = Proto.decode (Proto.encode fields) in
+  check Alcotest.bool "all ints" true (Proto.get_all_ints decoded 7 = [ 1L; 2L; 3L ]);
+  check Alcotest.bool "missing optional" true (Proto.get_int_opt decoded 9 = None)
+
+let test_wrong_wire_type () =
+  let decoded = Proto.decode (Proto.encode [ Proto.v_str 1 "x" ]) in
+  check Alcotest.bool "raises" true
+    (match Proto.get_int decoded 1 with
+     | exception Proto.Decode_error _ -> true
+     | _ -> false)
+
+let test_truncated_message () =
+  let bytes = Proto.encode [ Proto.v_str 1 "hello world" ] in
+  let cut = String.sub bytes 0 (String.length bytes - 3) in
+  check Alcotest.bool "raises" true
+    (match Proto.decode cut with
+     | exception Proto.Decode_error _ -> true
+     | _ -> false)
+
+let qcheck_field_roundtrip =
+  QCheck.Test.make ~name:"proto field list roundtrip" ~count:300
+    QCheck.(
+      small_list
+        (pair (int_range 1 200)
+           (oneof
+              [ map (fun v -> `I v) int64;
+                map (fun v -> `F v) int64;
+                map (fun s -> `S s) (string_of_size (QCheck.Gen.int_range 0 40)) ])))
+    (fun spec ->
+      let fields =
+        List.map
+          (fun (tag, payload) ->
+            match payload with
+            | `I v -> Proto.v_int tag v
+            | `F v -> Proto.v_fix tag v
+            | `S s -> Proto.v_str tag s)
+          spec
+      in
+      Proto.decode (Proto.encode fields) = fields)
+
+let suites =
+  [ ( "proto",
+      [ Alcotest.test_case "varint boundaries" `Quick test_varint_boundaries;
+        Alcotest.test_case "varint sizes" `Quick test_varint_sizes;
+        Alcotest.test_case "truncated varint" `Quick test_truncated_varint;
+        Alcotest.test_case "message roundtrip" `Quick test_message_roundtrip;
+        Alcotest.test_case "repeated fields" `Quick test_repeated_fields;
+        Alcotest.test_case "wrong wire type" `Quick test_wrong_wire_type;
+        Alcotest.test_case "truncated message" `Quick test_truncated_message;
+        QCheck_alcotest.to_alcotest qcheck_field_roundtrip ] ) ]

@@ -1,0 +1,131 @@
+(* Structural invariants of the compiler-emitted stack maps, checked over
+   every workload binary on both ISAs. These are the preconditions the
+   unwinder/rewriter rely on; a violation here means a silent layout bug
+   that end-to-end tests might only hit probabilistically. *)
+
+open Dapper_isa
+open Dapper_binary
+open Dapper_workloads
+module Link = Dapper_codegen.Link
+
+let check = Alcotest.check
+
+let check_func arch (_bin : Binary.t) (fm : Stackmap.func_map) =
+  let name ep = Printf.sprintf "%s/%s ep%d" (Arch.name arch) fm.fm_name ep in
+  (* frame size is 16-aligned and covers the save area *)
+  check Alcotest.bool (fm.fm_name ^ " frame aligned") true (fm.fm_frame_size mod 16 = 0);
+  List.iter
+    (fun (r, off) ->
+      check Alcotest.bool (fm.fm_name ^ " save slot in frame") true
+        (off < 0 && off >= -fm.fm_frame_size);
+      check Alcotest.bool (fm.fm_name ^ " saved reg is callee-saved") true
+        (List.mem r (Arch.callee_saved arch)))
+    fm.fm_saved;
+  (* promoted registers are callee-saved and saved in the frame *)
+  List.iter
+    (fun (_, r) ->
+      check Alcotest.bool (fm.fm_name ^ " promoted reg saved") true
+        (List.mem_assoc r fm.fm_saved))
+    fm.fm_promoted;
+  List.iter
+    (fun (ep : Stackmap.eqpoint) ->
+      (* addresses fall inside the function *)
+      let inside a =
+        Int64.compare a fm.fm_addr >= 0
+        && Int64.compare a (Int64.add fm.fm_addr (Int64.of_int fm.fm_code_size)) <= 0
+      in
+      check Alcotest.bool (name ep.ep_id ^ " addr inside") true (inside ep.ep_addr);
+      check Alcotest.bool (name ep.ep_id ^ " resume inside") true (inside ep.ep_resume);
+      check Alcotest.bool (name ep.ep_id ^ " resume after addr") true
+        (Int64.compare ep.ep_resume ep.ep_addr > 0);
+      (* frame-resident live values stay within the frame and do not
+         overlap; register-resident ones use real registers *)
+      let intervals = ref [] in
+      List.iter
+        (fun (lv : Stackmap.live_value) ->
+          check Alcotest.bool (name ep.ep_id ^ " size") true
+            (lv.lv_size > 0 && lv.lv_size mod 8 = 0);
+          match lv.lv_loc with
+          | Stackmap.Reg r ->
+            check Alcotest.bool (name ep.ep_id ^ " reg valid") true
+              (r >= 0 && r < Arch.gpr_count arch);
+            check Alcotest.bool (name ep.ep_id ^ " reg callee-saved") true
+              (List.mem r (Arch.callee_saved arch))
+          | Stackmap.Frame off ->
+            check Alcotest.bool (name ep.ep_id ^ " within frame") true
+              (off < 0 && off + lv.lv_size <= 0 && off >= -fm.fm_frame_size);
+            check Alcotest.bool (name ep.ep_id ^ " below save area") true
+              (List.for_all (fun (_, s) -> off + lv.lv_size <= s || off >= s + 8)
+                 fm.fm_saved);
+            List.iter
+              (fun (lo, hi) ->
+                check Alcotest.bool (name ep.ep_id ^ " no overlap") true
+                  (off + lv.lv_size <= lo || off >= hi))
+              !intervals;
+            intervals := (off, off + lv.lv_size) :: !intervals)
+        ep.ep_live)
+    fm.fm_eqpoints;
+  (* equivalence point ids are unique and dense from zero *)
+  let ids = List.map (fun (ep : Stackmap.eqpoint) -> ep.ep_id) fm.fm_eqpoints in
+  let sorted = List.sort_uniq compare ids in
+  check Alcotest.bool (fm.fm_name ^ " ep ids unique") true
+    (List.length sorted = List.length ids);
+  match sorted with
+  | [] -> ()
+  | first :: _ ->
+    check Alcotest.int (fm.fm_name ^ " ids start at 0") 0 first
+
+let check_binary_pair (c : Link.compiled) =
+  (* per-arch structural invariants *)
+  List.iter
+    (fun arch ->
+      let bin = Link.binary_for c arch in
+      List.iter (check_func arch bin) bin.Binary.bin_stackmaps)
+    Arch.all;
+  (* cross-ISA correspondence: same functions, same eqpoint ids/kinds,
+     same live-value keys per eqpoint *)
+  List.iter2
+    (fun (fx : Stackmap.func_map) (fa : Stackmap.func_map) ->
+      check Alcotest.string "same function order" fx.fm_name fa.fm_name;
+      check Alcotest.bool (fx.fm_name ^ " same addr") true
+        (Int64.equal fx.fm_addr fa.fm_addr);
+      check Alcotest.int (fx.fm_name ^ " same ep count")
+        (List.length fx.fm_eqpoints) (List.length fa.fm_eqpoints);
+      List.iter2
+        (fun (ex : Stackmap.eqpoint) (ea : Stackmap.eqpoint) ->
+          check Alcotest.int "ep id" ex.ep_id ea.ep_id;
+          check Alcotest.bool "ep kind" true (ex.ep_kind = ea.ep_kind);
+          let keys (ep : Stackmap.eqpoint) =
+            List.map (fun (lv : Stackmap.live_value) -> lv.lv_key) ep.ep_live
+            |> List.sort compare
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s ep%d same live keys" fx.fm_name ex.ep_id)
+            true
+            (keys ex = keys ea))
+        fx.fm_eqpoints fa.fm_eqpoints)
+    c.Link.cp_x86.bin_stackmaps c.Link.cp_arm.bin_stackmaps
+
+(* Shuffled binaries must satisfy every structural invariant too: the
+   permutation may move slots but never overlap them, escape the frame,
+   or desynchronize the cross-ISA key correspondence. *)
+let test_shuffled_binaries_keep_invariants () =
+  let c = Registry.compiled (Registry.find "nginx") in
+  List.iter
+    (fun seed ->
+      let rng = Dapper_util.Rng.create (Int64.of_int seed) in
+      let sx, _ = Dapper.Shuffle.shuffle_binary rng c.Link.cp_x86 in
+      let sa, _ = Dapper.Shuffle.shuffle_binary rng c.Link.cp_arm in
+      check_binary_pair
+        { c with Link.cp_x86 = sx; cp_arm = sa })
+    [ 1; 7; 42; 1337 ]
+
+let suites =
+  [ ( "stackmap-invariants",
+      List.map
+        (fun sp ->
+          Alcotest.test_case sp.Registry.sp_name `Quick (fun () ->
+              check_binary_pair (Registry.compiled sp)))
+        (Registry.all ())
+      @ [ Alcotest.test_case "shuffled binaries keep invariants" `Quick
+            test_shuffled_binaries_keep_invariants ] ) ]

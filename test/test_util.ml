@@ -1,0 +1,93 @@
+open Dapper_util
+
+let check = Alcotest.check
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [ ("a", Json.Int 42L);
+        ("b", Json.List [ Json.String "x\"y\n"; Json.Bool true; Json.Null ]);
+        ("c", Json.Obj [ ("nested", Json.Float 1.5) ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []) ]
+  in
+  let round = Json.of_string (Json.to_string doc) in
+  check Alcotest.bool "roundtrip" true (round = doc)
+
+let test_json_parse_basics () =
+  check Alcotest.bool "int" true (Json.of_string "42" = Json.Int 42L);
+  check Alcotest.bool "neg" true (Json.of_string "-7" = Json.Int (-7L));
+  check Alcotest.bool "float" true (Json.of_string "2.5" = Json.Float 2.5);
+  check Alcotest.bool "string esc" true (Json.of_string {|"a\tb"|} = Json.String "a\tb");
+  check Alcotest.bool "unicode" true (Json.of_string {|"A"|} = Json.String "A")
+
+let test_json_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "trailing" true (fails "1 2");
+  check Alcotest.bool "unterminated" true (fails "\"abc");
+  check Alcotest.bool "bad obj" true (fails "{\"a\" 1}")
+
+let test_json_members () =
+  let doc = Json.of_string {|{"x": 1, "y": [2, 3]}|} in
+  check Alcotest.int "member x" 1 (Int64.to_int (Json.to_int (Json.member "x" doc)));
+  check Alcotest.int "list len" 2 (List.length (Json.to_list (Json.member "y" doc)));
+  check Alcotest.bool "missing" true (Json.member_opt "z" doc = None)
+
+let test_rng_determinism () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  let xs = List.init 32 (fun _ -> Rng.next a) in
+  let ys = List.init 32 (fun _ -> Rng.next b) in
+  check Alcotest.bool "same stream" true (xs = ys)
+
+let test_rng_bounds () =
+  let r = Rng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 17);
+    let f = Rng.float r in
+    check Alcotest.bool "float range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_permutation () =
+  let r = Rng.create 99L in
+  let p = Rng.permutation r 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check Alcotest.bool "is permutation" true (sorted = Array.init 50 (fun i -> i))
+
+let test_bytebuf_roundtrip () =
+  let b = Bytebuf.create 16 in
+  Bytebuf.add_u8 b 0xAB;
+  Bytebuf.add_u16 b 0x1234;
+  Bytebuf.add_u32 b 0xDEADBEEF;
+  Bytebuf.add_i64 b (-42L);
+  let s = Bytebuf.contents b in
+  check Alcotest.int "u8" 0xAB (Bytebuf.get_u8 s 0);
+  check Alcotest.int "u16" 0x1234 (Bytebuf.get_u16 s 1);
+  check Alcotest.int "u32" 0xDEADBEEF (Bytebuf.get_u32 s 3);
+  check Alcotest.bool "i64" true (Int64.equal (-42L) (Bytebuf.get_i64 s 7))
+
+let qcheck_json_int_roundtrip =
+  QCheck.Test.make ~name:"json int64 roundtrip" ~count:200 QCheck.int64 (fun v ->
+      Json.of_string (Json.to_string (Json.Int v)) = Json.Int v)
+
+let qcheck_json_string_roundtrip =
+  QCheck.Test.make ~name:"json string roundtrip" ~count:200 QCheck.printable_string
+    (fun s -> Json.of_string (Json.to_string (Json.String s)) = Json.String s)
+
+let suites =
+  [ ( "util",
+      [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json parse basics" `Quick test_json_parse_basics;
+        Alcotest.test_case "json errors" `Quick test_json_errors;
+        Alcotest.test_case "json members" `Quick test_json_members;
+        Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "rng permutation" `Quick test_rng_permutation;
+        Alcotest.test_case "bytebuf roundtrip" `Quick test_bytebuf_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_json_int_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip ] ) ]
