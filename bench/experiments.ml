@@ -581,6 +581,50 @@ let ablation () =
           (drain { Dapper_codegen.Opts.default with backedge_checkers = true }) ] ];
   print_newline ()
 
+(* ----- periodic re-randomization: rewrite-plan cache across epochs ----- *)
+
+let rerand () =
+  Plan_cache.clear ();
+  Dapper_binary.Stackmap_index.reset_counters ();
+  let c = Registry.compiled (Registry.find "redis") in
+  let bin = c.Link.cp_x86 in
+  let p = Process.load bin in
+  ignore (Process.run p ~max_instrs:100_000);
+  let rows = ref [] in
+  let report epoch (rw : Rewrite.stats) =
+    rows :=
+      [ string_of_int epoch; string_of_int rw.Rewrite.st_frames;
+        string_of_int rw.Rewrite.st_values; string_of_int rw.Rewrite.st_plan_hits;
+        string_of_int rw.Rewrite.st_plan_misses;
+        string_of_int rw.Rewrite.st_index_lookups;
+        string_of_int rw.Rewrite.st_interval_lookups ]
+      :: !rows
+  in
+  (match
+     Policy.rerandomize_periodically ~report p ~current:bin ~rng:(Rng.create 7L)
+       ~interval:50_000 ~epochs:5
+   with
+   | Error e -> failwith (Policy.error_to_string e)
+   | Ok (_, epochs) ->
+     Tbl.print
+       ~title:"Periodic re-randomization: rewrite-plan cache across epochs (redis, x86-64)"
+       ~header:
+         [ "epoch"; "frames"; "values"; "plan hits"; "plan misses"; "index lookups";
+           "interval probes" ]
+       (List.rev !rows);
+     Printf.printf
+       "completed %d reshuffle epochs; shuffling permutes only frame offsets, so every epoch after the first reuses cached (offset-free) rewrite plans\n\n"
+       epochs);
+  (* The same counters in a cross-ISA migration's cost report. *)
+  let q = Process.load bin in
+  ignore (Process.run q ~max_instrs:100_000);
+  match
+    Migrate.migrate ~src_node:Node.xeon ~dst_node:Node.rpi ~src_bin:bin
+      ~dst_bin:c.Link.cp_arm q
+  with
+  | Ok r -> Printf.printf "cross-ISA migration: %s\n\n" (Migrate.cost_report r)
+  | Error e -> failwith (Migrate.error_to_string e)
+
 let all () =
   fig5 ();
   fig6 ();

@@ -5,7 +5,8 @@ let experiments =
   [ ("fig5", Experiments.fig5); ("fig6", Experiments.fig6); ("fig7", Experiments.fig7);
     ("fig8", Experiments.fig8); ("fig8-fleet", Experiments.fig8_fleet); ("fig9", Experiments.fig9); ("fig10", Experiments.fig10);
     ("fig11", Experiments.fig11); ("exploits", Experiments.exploits);
-    ("ablation", Experiments.ablation); ("bechamel", Micro.run) ]
+    ("ablation", Experiments.ablation); ("rerand", Experiments.rerand);
+    ("bechamel", Micro.run) ]
 
 let () =
   match Array.to_list Sys.argv with
@@ -13,6 +14,16 @@ let () =
     print_endline "Dapper reproduction: running the full evaluation\n";
     Experiments.all ();
     Micro.run ()
+  | _ :: "micro" :: flags ->
+    (* `micro [--json] [--smoke]`: the bechamel suite, optionally writing
+       machine-readable results to BENCH_RESULTS.json; --smoke shrinks
+       the measurement quota for CI. *)
+    (match List.filter (fun f -> f <> "--json" && f <> "--smoke") flags with
+     | [] -> ()
+     | unknown :: _ ->
+       Printf.eprintf "unknown micro flag %S (expected --json and/or --smoke)\n" unknown;
+       exit 1);
+    Micro.run_micro ~json:(List.mem "--json" flags) ~smoke:(List.mem "--smoke" flags) ()
   | _ :: names ->
     List.iter
       (fun name ->
@@ -20,7 +31,7 @@ let () =
         | Some f -> f ()
         | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat ", " (List.map fst experiments));
+            (String.concat ", " (List.map fst experiments @ [ "micro" ]));
           exit 1)
       names
   | [] -> assert false

@@ -21,9 +21,46 @@ let fixture () =
   let image = Dapper_criu.Dump.dump p in
   (c, p, image)
 
+(* Redis-like server paused mid-request-loop: the workload whose dense
+   stack maps the index/plan-cache layer targets. *)
+let redis_fixture () =
+  let c = Registry.compiled (Registry.find "redis") in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:200_000);
+  (match Monitor.request_pause p ~budget:40_000_000 with
+   | Ok _ -> ()
+   | Error e -> failwith (Monitor.error_to_string e));
+  let image = Dapper_criu.Dump.dump p in
+  (c, image)
+
+(* Every (function, eqpoint id) in a stack-map list — the query set for
+   the linear-vs-indexed lookup comparison. *)
+let lookup_queries maps =
+  List.concat_map
+    (fun (fm : Dapper_binary.Stackmap.func_map) ->
+      List.map
+        (fun (ep : Dapper_binary.Stackmap.eqpoint) -> (fm.fm_name, ep.ep_id))
+        fm.fm_eqpoints)
+    maps
+
+(* Synthetic but realistically sized pointer-translation interval set
+   (disjoint, like rewriter stack intervals). *)
+let translate_intervals =
+  List.init 512 (fun i ->
+      let lo = Int64.of_int (0x8000_0000 + (0x1000 * i)) in
+      (lo, Int64.add lo 0x800L, Int64.of_int i))
+
+let translate_queries =
+  List.init 1024 (fun i -> Int64.of_int (0x8000_0000 + (0x600 * i)))
+
 let tests () =
   let c, p, image = fixture () in
   let image_arm, _ = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
+  let rc, rimage = redis_fixture () in
+  let rmaps = rc.Link.cp_x86.bin_stackmaps in
+  let rix = Dapper_binary.Stackmap_index.build rmaps in
+  let queries = lookup_queries rmaps in
+  let imap = Dapper_util.Interval_map.of_list translate_intervals in
   let kinds =
     [ { Scheduler.jk_name = "cg"; jk_xeon_ms = 9000.0; jk_rpi_ms = 25000.0;
         jk_migration_ms = 1500.0 } ]
@@ -62,24 +99,87 @@ let tests () =
           let _, stats = Shuffle.shuffle_binary (Dapper_util.Rng.create 2L) c.Link.cp_arm in
           ignore (Shuffle.average_bits stats)));
       Test.make ~name:"fig11-gadget-scan" (Staged.stage (fun () ->
-          ignore (Gadgets.scan c.Link.cp_x86))) ]
+          ignore (Gadgets.scan c.Link.cp_x86)));
+      (* Indexed recode pipeline: the operations the stack-map index,
+         interval map and plan cache accelerate, each with its linear
+         baseline so the speedup is visible in one run. *)
+      Test.make ~name:"redis-recode-x86-to-arm" (Staged.stage (fun () ->
+          ignore (Rewrite.rewrite rimage ~src:rc.Link.cp_x86 ~dst:rc.Link.cp_arm)));
+      Test.make ~name:"redis-stackmap-lookup-linear" (Staged.stage (fun () ->
+          List.iter
+            (fun (fn, ep_id) ->
+              match Dapper_binary.Stackmap.find_func rmaps fn with
+              | Some fm -> ignore (Dapper_binary.Stackmap.eqpoint_by_id fm ep_id)
+              | None -> ())
+            queries));
+      Test.make ~name:"redis-stackmap-lookup-indexed" (Staged.stage (fun () ->
+          List.iter
+            (fun (fn, ep_id) ->
+              ignore (Dapper_binary.Stackmap_index.eqpoint_by_id rix fn ep_id))
+            queries));
+      Test.make ~name:"redis-ptr-translate-linear" (Staged.stage (fun () ->
+          List.iter
+            (fun v ->
+              ignore
+                (List.find_opt
+                   (fun (lo, hi, _) ->
+                     Int64.compare v lo >= 0 && Int64.compare v hi < 0)
+                   translate_intervals))
+            translate_queries));
+      Test.make ~name:"redis-ptr-translate-indexed" (Staged.stage (fun () ->
+          List.iter
+            (fun v -> ignore (Dapper_util.Interval_map.find imap v))
+            translate_queries)) ]
 
-let run () =
+let results_file = "BENCH_RESULTS.json"
+
+let run_micro ?(json = false) ?(smoke = false) () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let quota = Time.second (if smoke then 0.05 else 0.5) in
+  let cfg =
+    Benchmark.cfg ~limit:(if smoke then 50 else 1000) ~quota ~stabilize:false ()
+  in
   let raw = Benchmark.all cfg instances (tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   print_endline "== Bechamel micro-benchmarks (monotonic clock per run) ==";
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let ns =
+      let est =
         match Analyze.OLS.estimates ols_result with
-        | Some [ est ] -> Printf.sprintf "%.0f ns" est
-        | _ -> "n/a"
+        | Some [ est ] -> Some est
+        | _ -> None
       in
-      rows := [ name; ns ] :: !rows)
+      rows := (name, est) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   Dapper_util.Tbl.print ~title:"micro" ~header:[ "operation"; "time/run" ]
-    (List.sort compare !rows)
+    (List.map
+       (fun (name, est) ->
+         [ name;
+           (match est with Some e -> Printf.sprintf "%.0f ns" e | None -> "n/a") ])
+       rows);
+  if json then begin
+    let module J = Dapper_util.Json in
+    let entries =
+      List.map
+        (fun (name, est) ->
+          J.Obj
+            [ ("name", J.String name);
+              ("ns_per_run", match est with Some e -> J.Float e | None -> J.Null) ])
+        rows
+    in
+    let doc =
+      J.Obj
+        [ ("suite", J.String "dapper-micro"); ("smoke", J.Bool smoke);
+          ("benchmarks", J.List entries) ]
+    in
+    let oc = open_out results_file in
+    output_string oc (J.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s (%d benchmarks)\n" results_file (List.length entries)
+  end
+
+let run () = run_micro ()

@@ -15,9 +15,12 @@ let error_to_string = function
   | Transform_failed msg -> "transform failed: " ^ msg
 
 let changed_functions ~(old_bin : Binary.t) ~(new_bin : Binary.t) =
+  (* Index the new binary once instead of a linear find_func per old
+     function (O(n^2) over the program's function count). *)
+  let ix = Stackmap_index.get new_bin.bin_stackmaps in
   List.filter_map
     (fun (fm : Stackmap.func_map) ->
-      match Stackmap.find_func new_bin.bin_stackmaps fm.fm_name with
+      match Stackmap_index.find_func ix fm.fm_name with
       | None -> Some fm.fm_name (* removed function counts as changed *)
       | Some fm' ->
         if
@@ -55,10 +58,11 @@ let check_layout ~(old_bin : Binary.t) ~(new_bin : Binary.t) =
 let entry_transferable ~(new_bin : Binary.t) (fr : Unwind.frame) =
   fr.fr_ep.Stackmap.ep_kind = Stackmap.Entry
   &&
-  match Stackmap.find_func new_bin.bin_stackmaps fr.fr_func.Stackmap.fm_name with
+  let ix = Stackmap_index.get new_bin.bin_stackmaps in
+  match Stackmap_index.find_func ix fr.fr_func.Stackmap.fm_name with
   | None -> false
   | Some fm' ->
-    (match Stackmap.eqpoint_by_id fm' fr.fr_ep.ep_id with
+    (match Stackmap_index.eqpoint_by_id ix fm'.fm_name fr.fr_ep.ep_id with
      | None -> false
      | Some ep' ->
        let keys ep =

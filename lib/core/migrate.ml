@@ -54,6 +54,21 @@ let recode_ns (node : Node.t) ?(bytes = 0) (stats : Rewrite.stats) =
    +. (float_of_int bytes *. recode_byte_ns))
   *. slowdown
 
+(* Cost report with the index/plan-cache observability counters; new
+   surfaces only (the fig5/fig7 tables keep their exact seed format). *)
+let cost_report (r : result) =
+  let t = r.r_times in
+  let rw = r.r_rewrite in
+  Printf.sprintf
+    "checkpoint %.2f ms, recode %.2f ms, scp %.2f ms, restore %.2f ms, total %.2f ms \
+     | plan cache %d hit%s / %d miss%s, %d index lookups, %d interval probes"
+    t.t_checkpoint_ms t.t_recode_ms t.t_scp_ms t.t_restore_ms (total_ms t)
+    rw.Rewrite.st_plan_hits
+    (if rw.Rewrite.st_plan_hits = 1 then "" else "s")
+    rw.Rewrite.st_plan_misses
+    (if rw.Rewrite.st_plan_misses = 1 then "" else "es")
+    rw.Rewrite.st_index_lookups rw.Rewrite.st_interval_lookups
+
 let migrate ?(lazy_pages = false) ?(link = Link.infiniband) ?recode_on
     ?(bytes_scale = 1.0) ?(budget = 50_000_000) ~(src_node : Node.t)
     ~(dst_node : Node.t) ~(dst_bin : Binary.t) ~(src_bin : Binary.t)

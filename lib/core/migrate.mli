@@ -49,6 +49,11 @@ val recode_ns : Node.t -> ?bytes:int -> Rewrite.stats -> float
 val checkpoint_ms : bytes:int -> float
 val restore_ms : bytes:int -> float
 
+(** One-line migration cost report: phase times plus the index and
+    rewrite-plan-cache counters ({!Rewrite.stats} observability
+    fields). *)
+val cost_report : result -> string
+
 val migrate :
   ?lazy_pages:bool ->
   ?link:Link.t ->

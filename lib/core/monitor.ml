@@ -19,16 +19,18 @@ let error_to_string = function
     Printf.sprintf "thread %d stopped at 0x%Lx, not an equivalence point" tid pc
   | Process_exited -> "process exited during pause"
 
-let maps_of (p : Process.t) = p.Process.binary.Binary.bin_stackmaps
+let index_of (p : Process.t) =
+  Stackmap_index.get p.Process.binary.Binary.bin_stackmaps
 
 (* Validate that a trapped thread sits at a checker trap: its pc must be
    the resume address of some equivalence point (the paper's defense
    against maliciously raised SIGTRAPs). *)
 let validate_trap p (th : Process.thread) =
-  match Stackmap.func_of_addr (maps_of p) th.pc with
+  let ix = index_of p in
+  match Stackmap_index.func_of_addr ix th.pc with
   | None -> Error (Not_at_equivalence_point (th.tid, th.pc))
   | Some fm ->
-    (match Stackmap.eqpoint_by_resume fm th.pc with
+    (match Stackmap_index.eqpoint_by_resume ix fm.fm_name th.pc with
      | Some _ -> Ok ()
      | None -> Error (Not_at_equivalence_point (th.tid, th.pc)))
 
@@ -46,10 +48,11 @@ let rollback_blocked p (th : Process.thread) =
       (ret, fun () -> th.regs.(Arch.sp arch) <- Int64.add sp 8L)
     | Arch.Aarch64 -> (th.regs.(30), fun () -> ())
   in
-  match Stackmap.func_of_addr (maps_of p) ret_addr with
+  let ix = index_of p in
+  match Stackmap_index.func_of_addr ix ret_addr with
   | None -> Error (Not_at_equivalence_point (th.tid, ret_addr))
   | Some fm ->
-    (match Stackmap.eqpoint_by_resume fm ret_addr with
+    (match Stackmap_index.eqpoint_by_resume ix fm.fm_name ret_addr with
      | Some ep ->
        undo ();
        th.pc <- ep.Stackmap.ep_addr;

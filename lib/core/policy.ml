@@ -34,7 +34,7 @@ let ensure_paused p =
     | Ok _ -> Ok ()
     | Error e -> Error (Pause_failed e)
 
-let apply p ~current policy =
+let apply ?report p ~current policy =
   match policy with
   | Software_update new_bin ->
     (* Dsu handles its own pause so it can refuse before transforming. *)
@@ -54,7 +54,8 @@ let apply p ~current policy =
             | Reshuffle rng -> fst (Shuffle.shuffle_binary rng current)
             | Software_update _ -> assert false
           in
-          let image', _ = Rewrite.rewrite image ~src:current ~dst in
+          let image', rw = Rewrite.rewrite image ~src:current ~dst in
+          (match report with Some f -> f rw | None -> ());
           let q = Dapper_criu.Restore.restore image' dst in
           Ok { ap_process = q; ap_binary = dst }
         with
@@ -65,14 +66,15 @@ let apply p ~current policy =
         | Shuffle.Shuffle_error msg ->
           Error (Policy_failed msg)))
 
-let rerandomize_periodically p ~current ~rng ~interval ~epochs =
+let rerandomize_periodically ?report p ~current ~rng ~interval ~epochs =
   let rec go state epoch =
     if epoch >= epochs then Ok (state, epoch)
     else begin
       match Process.run state.ap_process ~max_instrs:interval with
       | Process.Exited_run _ | Process.Crashed _ | Process.Idle -> Ok (state, epoch)
       | Process.Progress ->
-        (match apply state.ap_process ~current:state.ap_binary (Reshuffle rng) with
+        let report = Option.map (fun f -> f epoch) report in
+        (match apply ?report state.ap_process ~current:state.ap_binary (Reshuffle rng) with
          | Ok state' -> go state' (epoch + 1)
          | Error e -> Error e)
     end

@@ -40,8 +40,13 @@ val error_to_string : error -> string
 
 (** [apply p ~current policy] pauses [p] (if not already quiescent),
     transforms it per [policy], and restores the result. [current] is
-    the binary [p] currently runs under. *)
-val apply : Process.t -> current:Binary.t -> t -> (applied, error) result
+    the binary [p] currently runs under. [report] is called with the
+    rewrite statistics (including plan-cache and index counters) of the
+    transformation; it is not called for {!Software_update}, which
+    delegates to {!Dsu.update}. *)
+val apply :
+  ?report:(Rewrite.stats -> unit) ->
+  Process.t -> current:Binary.t -> t -> (applied, error) result
 
 (** [rerandomize_periodically p ~current ~rng ~interval ~epochs ~fuel]
     alternates bursts of execution with {!Reshuffle} applications —
@@ -49,5 +54,6 @@ val apply : Process.t -> current:Binary.t -> t -> (applied, error) result
     Returns the final state and the number of completed epochs (the
     process may exit early). *)
 val rerandomize_periodically :
+  ?report:(int -> Rewrite.stats -> unit) ->
   Process.t -> current:Binary.t -> rng:Rng.t -> interval:int -> epochs:int ->
   (applied * int, error) result

@@ -13,6 +13,10 @@ type stats = {
   st_ptrs_translated : int;
   st_code_pages : int;
   st_stack_bytes : int;
+  st_plan_hits : int;
+  st_plan_misses : int;
+  st_index_lookups : int;
+  st_interval_lookups : int;
 }
 
 let work_items s =
@@ -75,7 +79,9 @@ let is_code_page pn =
 
 (* Emit a sorted pagemap + pages blob from the store. *)
 let store_to_image st =
-  let dumped = Hashtbl.fold (fun pn _ acc -> pn :: acc) st.pages [] |> List.sort compare in
+  let dumped =
+    Hashtbl.fold (fun pn _ acc -> pn :: acc) st.pages [] |> List.sort Int.compare
+  in
   let entries_dumped =
     let rec go acc = function
       | [] -> List.rev acc
@@ -121,19 +127,19 @@ type dst_frame = {
    return-address push), matching Process.setup_stack. *)
 let initial_sp tid = Int64.sub (Layout.stack_base_of_thread tid) 64L
 
-let place_frames dst_maps tid (ts : Unwind.thread_stack) =
+let place_frames ix_dst tid (ts : Unwind.thread_stack) =
   let frames = List.rev ts.Unwind.ts_frames in
   (* outermost first *)
   let rec go sp acc = function
     | [] -> List.rev acc
     | (fr : Unwind.frame) :: rest ->
       let fm =
-        match Stackmap.find_func dst_maps fr.fr_func.fm_name with
+        match Stackmap_index.find_func ix_dst fr.fr_func.fm_name with
         | Some fm -> fm
         | None -> fail "function %s missing from destination stack maps" fr.fr_func.fm_name
       in
       let ep =
-        match Stackmap.eqpoint_by_id fm fr.fr_ep.ep_id with
+        match Stackmap_index.eqpoint_by_id ix_dst fm.fm_name fr.fr_ep.ep_id with
         | Some ep -> ep
         | None ->
           fail "equivalence point %d missing from %s on destination" fr.fr_ep.ep_id
@@ -155,48 +161,72 @@ let rewrite (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
     fail "application mismatch between image and binaries";
   let src_maps = src.bin_stackmaps and dst_maps = dst.bin_stackmaps in
   let dst_arch = dst.bin_arch in
+  let plan_hits0 = Plan_cache.hits () and plan_misses0 = Plan_cache.misses () in
+  let index_lookups0 = Stackmap_index.lookup_count () in
+  let ix_src = Stackmap_index.get src_maps in
+  let ix_dst = Stackmap_index.get dst_maps in
   let stacks = Unwind.unwind_all image src_maps ~anchors:src.bin_anchors in
   let placed =
-    List.map (fun ts -> (ts, place_frames dst_maps ts.Unwind.ts_tid ts)) stacks
+    List.map (fun ts -> (ts, place_frames ix_dst ts.Unwind.ts_tid ts)) stacks
   in
-  (* Global source-stack interval map for pointer translation. *)
+  (* Global source-stack interval map for pointer translation. Which live
+     values contribute an interval is a frame-placement decision memoized
+     in the plan cache; the concrete offsets come from the current
+     binaries' stack-map indexes. *)
+  let frame_off ix fn ep_id key =
+    match Stackmap_index.live_value ix fn ep_id key with
+    | Some { Stackmap.lv_loc = Stackmap.Frame off; _ } -> off
+    | Some { Stackmap.lv_loc = Stackmap.Reg _; _ } | None ->
+      fail "%s: plan expects frame-resident live value at ep %d" fn ep_id
+  in
   let intervals = ref [] in
   List.iter
     (fun ((_ : Unwind.thread_stack), dframes) ->
       List.iter
         (fun df ->
+          let fn = df.df_fm.Stackmap.fm_name in
+          let ep_id = df.df_ep.Stackmap.ep_id in
+          let plan =
+            Plan_cache.lookup ~app:src.bin_app ~src_arch:src.bin_arch ~dst_arch
+              ~fn ~ep_id ~src_ep:df.df_src.fr_ep ~dst_ep:df.df_ep
+          in
           List.iter
-            (fun (lv : Stackmap.live_value) ->
-              match lv.lv_loc with
-              | Stackmap.Frame src_off ->
-                (match
-                   List.find_opt
-                     (fun (dlv : Stackmap.live_value) -> dlv.lv_key = lv.lv_key)
-                     df.df_ep.ep_live
-                 with
-                 | Some { lv_loc = Stackmap.Frame dst_off; _ } ->
-                   let src_lo = Int64.add df.df_src.fr_fp (Int64.of_int src_off) in
-                   let dst_lo = Int64.add df.df_fp (Int64.of_int dst_off) in
-                   intervals :=
-                     (src_lo, Int64.add src_lo (Int64.of_int lv.lv_size), dst_lo)
-                     :: !intervals
-                 | Some { lv_loc = Stackmap.Reg _; _ } | None -> ())
-              | Stackmap.Reg _ -> ())
-            df.df_src.fr_ep.ep_live)
+            (fun (key, size) ->
+              let src_off = frame_off ix_src fn ep_id key in
+              let dst_off = frame_off ix_dst fn ep_id key in
+              let src_lo = Int64.add df.df_src.fr_fp (Int64.of_int src_off) in
+              let dst_lo = Int64.add df.df_fp (Int64.of_int dst_off) in
+              intervals :=
+                (src_lo, Int64.add src_lo (Int64.of_int size), dst_lo) :: !intervals)
+            plan.Plan_cache.pl_intervals)
         dframes)
     placed;
   let intervals = !intervals in
+  let imap = Dapper_util.Interval_map.of_list intervals in
+  let imap_ok = Dapper_util.Interval_map.disjoint imap in
   let ptrs_translated = ref 0 in
+  let interval_lookups = ref 0 in
   let translate v =
-    match
-      List.find_opt
-        (fun (lo, hi, _) -> Int64.compare v lo >= 0 && Int64.compare v hi < 0)
-        intervals
-    with
-    | Some (lo, _, dst_lo) ->
-      incr ptrs_translated;
-      Int64.add dst_lo (Int64.sub v lo)
-    | None -> v
+    incr interval_lookups;
+    if imap_ok then
+      match Dapper_util.Interval_map.find_interval imap v with
+      | Some (lo, _, dst_lo) ->
+        incr ptrs_translated;
+        Int64.add dst_lo (Int64.sub v lo)
+      | None -> v
+    else
+      (* Overlapping intervals: fall back to the first-match linear scan
+         so translation picks the same interval the unindexed rewriter
+         would have. *)
+      match
+        List.find_opt
+          (fun (lo, hi, _) -> Int64.compare v lo >= 0 && Int64.compare v hi < 0)
+          intervals
+      with
+      | Some (lo, _, dst_lo) ->
+        incr ptrs_translated;
+        Int64.add dst_lo (Int64.sub v lo)
+      | None -> v
   in
   let in_stack_region v =
     Int64.compare v (Layout.stack_limit_of_thread (Layout.max_threads - 1)) >= 0
@@ -257,12 +287,18 @@ let rewrite (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
         List.iter
           (fun (r, off) -> store_write_u64 st (Int64.add fp (Int64.of_int off)) ctx.(r))
           df.df_fm.fm_saved;
-        (* live values *)
+        (* live values; hash the source frame's values once instead of an
+           assoc scan per destination live value *)
+        let src_values = Hashtbl.create (List.length df.df_src.fr_values) in
+        List.iter
+          (fun (key, bytes) ->
+            if not (Hashtbl.mem src_values key) then Hashtbl.add src_values key bytes)
+          df.df_src.fr_values;
         List.iter
           (fun (lv : Stackmap.live_value) ->
             incr values_count;
             let bytes =
-              match List.assoc_opt lv.lv_key df.df_src.fr_values with
+              match Hashtbl.find_opt src_values lv.lv_key with
               | Some b -> b
               | None ->
                 fail "%s: live value missing from source at ep %d" df.df_fm.fm_name
@@ -369,6 +405,10 @@ let rewrite (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
       st_values = !values_count;
       st_ptrs_translated = !ptrs_translated;
       st_code_pages = !code_pages;
-      st_stack_bytes = !stack_bytes }
+      st_stack_bytes = !stack_bytes;
+      st_plan_hits = Plan_cache.hits () - plan_hits0;
+      st_plan_misses = Plan_cache.misses () - plan_misses0;
+      st_index_lookups = Stackmap_index.lookup_count () - index_lookups0;
+      st_interval_lookups = !interval_lookups }
   in
   (image', stats)

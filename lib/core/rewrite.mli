@@ -32,9 +32,17 @@ type stats = {
   st_ptrs_translated : int; (** stack pointers relocated *)
   st_code_pages : int;      (** execution-context pages replaced *)
   st_stack_bytes : int;     (** stack bytes rebuilt *)
+  st_plan_hits : int;       (** rewrite-plan cache hits during this rewrite *)
+  st_plan_misses : int;     (** rewrite-plan cache misses (plans derived) *)
+  st_index_lookups : int;   (** stack-map index lookups during this rewrite *)
+  st_interval_lookups : int;(** pointer-translation interval-map probes *)
 }
 
-(** Total abstract work units, the input to the recode cost model. *)
+(** Total abstract work units, the input to the recode cost model. The
+    observability counters ([st_plan_*], [st_index_lookups],
+    [st_interval_lookups]) deliberately do not contribute: indexing
+    changes the cost of a migration, never its result or its modeled
+    work. *)
 val work_items : stats -> int
 
 val rewrite : Images.image_set -> src:Binary.t -> dst:Binary.t -> Images.image_set * stats

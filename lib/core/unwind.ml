@@ -48,25 +48,24 @@ let extract_values image (ctx : int64 array) fp (ep : Stackmap.eqpoint) =
 (* Find the equivalence point a paused thread sits at: either a trap
    resume address (entry/backedge checker) or, for a rolled-back thread,
    the call instruction itself. *)
-let innermost_ep (fm : Stackmap.func_map) pc =
-  match Stackmap.eqpoint_by_resume fm pc with
+let innermost_ep ix (fm : Stackmap.func_map) pc =
+  match Stackmap_index.eqpoint_by_resume ix fm.fm_name pc with
   | Some ep -> (ep, false)
   | None ->
-    (match
-       List.find_opt (fun (ep : Stackmap.eqpoint) -> Int64.equal ep.ep_addr pc) fm.fm_eqpoints
-     with
+    (match Stackmap_index.eqpoint_at_addr ix fm.fm_name pc with
      | Some ({ ep_kind = Stackmap.Call_site _; _ } as ep) -> (ep, true)
      | Some _ | None -> fail "thread paused at 0x%Lx: no equivalence point" pc)
 
 let unwind image maps ~(anchors : Binary.anchors) (tc : Images.thread_core) =
+  let ix = Stackmap_index.get maps in
   let arch = tc.tc_arch in
   let ctx = Array.copy tc.tc_regs in
   let fm0 =
-    match Stackmap.func_of_addr maps tc.tc_pc with
+    match Stackmap_index.func_of_addr ix tc.tc_pc with
     | Some fm -> fm
     | None -> fail "thread %d pc 0x%Lx not in any function" tc.tc_tid tc.tc_pc
   in
-  let ep0, at_call = innermost_ep fm0 tc.tc_pc in
+  let ep0, at_call = innermost_ep ix fm0 tc.tc_pc in
   let is_bottom ret =
     Int64.equal ret anchors.a_exit_stub || Int64.equal ret anchors.a_thread_exit_stub
   in
@@ -89,10 +88,10 @@ let unwind image maps ~(anchors : Binary.anchors) (tc : Images.thread_core) =
     let caller_fp = Images.read_u64 image fp in
     if is_bottom ret_addr then List.rev acc
     else
-      match Stackmap.func_of_addr maps ret_addr with
+      match Stackmap_index.func_of_addr ix ret_addr with
       | None -> fail "return address 0x%Lx not in any function" ret_addr
       | Some fm' ->
-        (match Stackmap.eqpoint_by_resume fm' ret_addr with
+        (match Stackmap_index.eqpoint_by_resume ix fm'.fm_name ret_addr with
          | Some ({ ep_kind = Stackmap.Call_site _; _ } as ep') ->
            walk fm' ep' caller_fp false false acc
          | Some _ | None ->

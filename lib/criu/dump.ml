@@ -18,14 +18,14 @@ let dump ?(lazy_pages = false) (p : Process.t) =
   let pc_pages =
     List.map (fun (th : Process.thread) -> Layout.page_of_addr th.pc) live
   in
-  let pages = Memory.mapped_pages p.Process.mem in
+  let pages = Memory.page_numbers p.Process.mem in
   let classified =
-    List.filter_map
-      (fun pn ->
+    Array.fold_right
+      (fun pn acc ->
         match Process.vma_kind_of_page p pn with
-        | Some k -> Some (pn, kind_of k)
-        | None -> None)
-      pages
+        | Some k -> (pn, kind_of k) :: acc
+        | None -> acc)
+      pages []
   in
   (* Dump policy per page. *)
   let in_dump (pn, kind) =

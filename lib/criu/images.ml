@@ -143,19 +143,25 @@ let to_files is =
       ("files.img", encode_files is.is_files) ]
 
 let of_files files =
+  (* One pass over the file list: hash every image by name (first
+     occurrence wins, like [List.assoc_opt]) and collect the per-thread
+     cores, instead of a linear scan per named image plus a filter_map
+     re-scan. *)
+  let by_name = Hashtbl.create 16 in
+  let cores = ref [] in
+  List.iter
+    (fun (name, bytes) ->
+      if not (Hashtbl.mem by_name name) then Hashtbl.add by_name name bytes;
+      if String.length name > 5 && String.sub name 0 5 = "core-" then
+        cores := decode_core bytes :: !cores)
+    files;
   let find name =
-    match List.assoc_opt name files with
+    match Hashtbl.find_opt by_name name with
     | Some v -> v
     | None -> fail "missing image file %s" name
   in
   let cores =
-    List.filter_map
-      (fun (name, bytes) ->
-        if String.length name > 5 && String.sub name 0 5 = "core-" then
-          Some (decode_core bytes)
-        else None)
-      files
-    |> List.sort (fun a b -> compare a.tc_tid b.tc_tid)
+    List.sort (fun a b -> Int.compare a.tc_tid b.tc_tid) (List.rev !cores)
   in
   { is_cores = cores;
     is_mm = decode_mm (find "mm.img");
@@ -166,8 +172,7 @@ let of_files files =
 let total_bytes is =
   List.fold_left (fun acc (_, bytes) -> acc + String.length bytes) 0 (to_files is)
 
-let page_offset_in_dump is pn =
-  let target = Layout.addr_of_page pn in
+let page_offset_linear pagemap target =
   let rec go entries off =
     match entries with
     | [] -> None
@@ -181,7 +186,60 @@ let page_offset_in_dump is pn =
       end
       else go rest off
   in
-  go is.is_pagemap 0
+  go pagemap 0
+
+(* Page-offset index: the pagemap walk above runs once per [read_u64]
+   during unwinding, making address resolution O(pagemap entries). Build
+   an interval map (dumped vaddr range -> cumulative blob offset) once
+   per pagemap and memoize it by physical identity — pagemap lists are
+   immutable and shared by the functional [write_*] updates, so identity
+   survives everything except an actual remap. *)
+let offset_index_capacity = 8
+
+let offset_index_cache :
+    (pagemap_entry list * int Dapper_util.Interval_map.t) list ref =
+  ref []
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let build_offset_index pagemap =
+  let off = ref 0 in
+  let triples =
+    List.filter_map
+      (fun e ->
+        if e.pm_in_dump then begin
+          let size = e.pm_npages * Layout.page_size in
+          let t = (e.pm_vaddr, Int64.add e.pm_vaddr (Int64.of_int size), !off) in
+          off := !off + size;
+          Some t
+        end
+        else None)
+      pagemap
+  in
+  Dapper_util.Interval_map.of_list triples
+
+let offset_index pagemap =
+  match List.find_opt (fun (pm, _) -> pm == pagemap) !offset_index_cache with
+  | Some ((_, m) as hit) ->
+    offset_index_cache :=
+      hit :: List.filter (fun (pm, _) -> pm != pagemap) !offset_index_cache;
+    m
+  | None ->
+    let m = build_offset_index pagemap in
+    offset_index_cache := take offset_index_capacity ((pagemap, m) :: !offset_index_cache);
+    m
+
+let page_offset_in_dump is pn =
+  let target = Layout.addr_of_page pn in
+  let m = offset_index is.is_pagemap in
+  if Dapper_util.Interval_map.disjoint m then
+    match Dapper_util.Interval_map.find_interval m target with
+    | Some (lo, _, base) -> Some (base + Int64.to_int (Int64.sub target lo))
+    | None -> None
+  else page_offset_linear is.is_pagemap target
 
 let read_page is pn =
   match page_offset_in_dump is pn with

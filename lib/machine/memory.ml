@@ -21,8 +21,18 @@ let map_page t pn data =
 let unmap_page t pn = Hashtbl.remove t.pages pn
 let is_mapped t pn = Hashtbl.mem t.pages pn
 
-let mapped_pages t =
-  Hashtbl.fold (fun pn _ acc -> pn :: acc) t.pages [] |> List.sort compare
+let page_numbers t =
+  let arr = Array.make (Hashtbl.length t.pages) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun pn _ ->
+      arr.(!i) <- pn;
+      incr i)
+    t.pages;
+  Array.sort Int.compare arr;
+  arr
+
+let mapped_pages t = Array.to_list (page_numbers t)
 
 let page_contents t pn = Hashtbl.find_opt t.pages pn
 

@@ -24,6 +24,12 @@ val map_page : t -> int -> bytes -> unit
 val unmap_page : t -> int -> unit
 val is_mapped : t -> int -> bool
 
+(** Mapped page numbers in increasing order, as a freshly sorted array
+    (monomorphic [Int.compare], no per-element closure or intermediate
+    list). Snapshot callers that immediately iterate should prefer this
+    over {!mapped_pages}. *)
+val page_numbers : t -> int array
+
 (** Mapped page numbers in increasing order. *)
 val mapped_pages : t -> int list
 

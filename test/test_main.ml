@@ -17,4 +17,5 @@ let () =
      @ Test_parse.suites
      @ Test_fuzz.suites
      @ Test_net.suites
-     @ Test_stackmap_invariants.suites)
+     @ Test_stackmap_invariants.suites
+     @ Test_indexes.suites)
