@@ -217,10 +217,10 @@ let fig8 () =
         let ia = native_instrs c Arch.Aarch64 in
         let total = ix in
         let _, r = migrate_at c ~total_instrs:total ~frac:0.3 in
-        { Scheduler.jk_name = name;
-          jk_xeon_ms = exec_ms_scaled Arch.X86_64 ix /. 10.0;
-          jk_rpi_ms = exec_ms_scaled Arch.Aarch64 ia /. 10.0;
-          jk_migration_ms = Migrate.total_ms r.Migrate.r_times })
+        Scheduler.job_kind_of_session ~name
+          ~xeon_ms:(exec_ms_scaled Arch.X86_64 ix /. 10.0)
+          ~rpi_ms:(exec_ms_scaled Arch.Aarch64 ia /. 10.0)
+          ~times:r.Migrate.r_times)
       [ "npb-ep.B"; "npb-cg.B"; "npb-mg.B"; "npb-ft.B" ]
   in
   Tbl.print ~title:"Fig 8 inputs: per-job costs (NPB class B)"
@@ -312,13 +312,17 @@ let fig9 () =
             (match Monitor.request_pause p ~budget:40_000_000 with
              | Ok _ -> ()
              | Error e -> failwith (Monitor.error_to_string e));
-            let image = Dapper_criu.Dump.dump p in
+            let image = Dapper_error.ok_exn (Dapper_criu.Dump.dump p) in
             let shuffled, _ = Shuffle.shuffle_binary (Rng.create 11L) bin in
-            let image', rw = Rewrite.rewrite image ~src:bin ~dst:shuffled in
-            let _ = Dapper_criu.Restore.restore image' shuffled in
+            let image', rw =
+              Dapper_error.ok_exn (Rewrite.rewrite image ~src:bin ~dst:shuffled)
+            in
+            let _ = Dapper_error.ok_exn (Dapper_criu.Restore.restore image' shuffled) in
             let dump_stats = Dapper_criu.Dump.stats_of image in
+            (* checkpoint/restore costs at their calibration anchors (the
+               nodes the paper measured each phase on) *)
             let checkpoint_ms =
-              Migrate.checkpoint_ms
+              Migrate.checkpoint_ms ~node:Node.xeon
                 ~bytes:(int_of_float
                           (float_of_int
                              (dump_stats.Dapper_criu.Dump.pages_dumped
@@ -334,7 +338,7 @@ let fig9 () =
               /. 1e6
             in
             let restore_ms =
-              Migrate.restore_ms
+              Migrate.restore_ms ~node:Node.rpi
                 ~bytes:(int_of_float (float_of_int (Dapper_criu.Images.total_bytes image')
                                       *. bytes_scale))
             in

@@ -18,7 +18,7 @@ let fixture () =
   (match Monitor.request_pause p ~budget:40_000_000 with
    | Ok _ -> ()
    | Error e -> failwith (Monitor.error_to_string e));
-  let image = Dapper_criu.Dump.dump p in
+  let image = Dapper_util.Dapper_error.ok_exn (Dapper_criu.Dump.dump p) in
   (c, p, image)
 
 (* Redis-like server paused mid-request-loop: the workload whose dense
@@ -30,7 +30,7 @@ let redis_fixture () =
   (match Monitor.request_pause p ~budget:40_000_000 with
    | Ok _ -> ()
    | Error e -> failwith (Monitor.error_to_string e));
-  let image = Dapper_criu.Dump.dump p in
+  let image = Dapper_util.Dapper_error.ok_exn (Dapper_criu.Dump.dump p) in
   (c, image)
 
 (* Every (function, eqpoint id) in a stack-map list — the query set for
@@ -55,7 +55,10 @@ let translate_queries =
 
 let tests () =
   let c, p, image = fixture () in
-  let image_arm, _ = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
+  let image_arm, _ =
+    Dapper_util.Dapper_error.ok_exn
+      (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm)
+  in
   let rc, rimage = redis_fixture () in
   let rmaps = rc.Link.cp_x86.bin_stackmaps in
   let rix = Dapper_binary.Stackmap_index.build rmaps in

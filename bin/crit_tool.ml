@@ -29,10 +29,13 @@ let run bench warm recode =
   (match Monitor.request_pause p ~budget:50_000_000 with
    | Ok _ -> ()
    | Error e -> failwith (Monitor.error_to_string e));
-  let image = Dapper_criu.Dump.dump p in
+  let image = Dapper_util.Dapper_error.ok_exn (Dapper_criu.Dump.dump p) in
   print_endline (Dapper_criu.Crit.show image);
   if recode then begin
-    let image', stats = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
+    let image', stats =
+      Dapper_util.Dapper_error.ok_exn
+        (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm)
+    in
     Printf.printf
       "\n--- rewritten for %s: %d frames, %d values, %d pointers translated ---\n"
       (Arch.name Arch.Aarch64) stats.Rewrite.st_frames stats.Rewrite.st_values

@@ -48,7 +48,7 @@ let () =
    | Error e -> failwith (Monitor.error_to_string e));
 
   (* 4. CRIU dump; peek at the images with CRIT. *)
-  let image = Dapper_criu.Dump.dump p in
+  let image = Dapper_util.Dapper_error.ok_exn (Dapper_criu.Dump.dump p) in
   let files = Dapper_criu.Images.to_files image in
   Printf.printf "dumped %d image files (%d bytes):\n"
     (List.length files) (Dapper_criu.Images.total_bytes image);
@@ -59,11 +59,14 @@ let () =
        (Dapper_criu.Crit.decode_file "core-0.img" (List.assoc "core-0.img" files)));
 
   (* 5. Rewrite the process state for aarch64 and restore it there. *)
-  let image', stats = Rewrite.rewrite image ~src:compiled.cp_x86 ~dst:compiled.cp_arm in
+  let image', stats =
+    Dapper_util.Dapper_error.ok_exn
+      (Rewrite.rewrite image ~src:compiled.cp_x86 ~dst:compiled.cp_arm)
+  in
   Printf.printf
     "rewritten for aarch64: %d frames, %d live values copied, %d stack pointers translated\n"
     stats.Rewrite.st_frames stats.Rewrite.st_values stats.Rewrite.st_ptrs_translated;
-  let q = Dapper_criu.Restore.restore image' compiled.cp_arm in
+  let q = Dapper_util.Dapper_error.ok_exn (Dapper_criu.Restore.restore image' compiled.cp_arm) in
   (match Process.run_to_completion q ~fuel:10_000_000 with
    | Process.Exited_run code ->
      Printf.printf "finished on aarch64 with exit code %Ld, output: %S\n" code

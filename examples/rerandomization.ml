@@ -30,10 +30,11 @@ let () =
       (match Monitor.request_pause p ~budget:10_000_000 with
        | Ok _ -> ()
        | Error e -> failwith (Monitor.error_to_string e));
-      let image = Dapper_criu.Dump.dump p in
+      let ok = Dapper_util.Dapper_error.ok_exn in
+      let image = ok (Dapper_criu.Dump.dump p) in
       let shuffled, stats = Shuffle.shuffle_binary rng bin in
-      let image', _ = Rewrite.rewrite image ~src:bin ~dst:shuffled in
-      let p' = Dapper_criu.Restore.restore image' shuffled in
+      let image', _ = ok (Rewrite.rewrite image ~src:bin ~dst:shuffled) in
+      let p' = ok (Dapper_criu.Restore.restore image' shuffled) in
       Printf.printf "epoch %d: reshuffled live process (%.2f avg bits, %d instrs patched)\n"
         epoch (Shuffle.average_bits stats) stats.Shuffle.sh_instrs_rewritten;
       rerandomize shuffled p' (epoch - 1)

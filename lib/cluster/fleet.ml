@@ -1,7 +1,8 @@
+open Dapper_util
 open Dapper_machine
 open Dapper_net
 open Dapper_codegen
-module Migrate = Dapper.Migrate
+module Session = Dapper.Session
 
 type config = {
   f_window_ms : float;
@@ -13,18 +14,20 @@ type config = {
   f_bytes_scale : float;
   f_job_fuel : int;
   f_speed_scale : float;
+  f_pause_budget : int;
 }
 
 let default_config =
   { f_window_ms = 30_000.0; f_quantum_ms = 50.0; f_xeon_slots = 7; f_rpis = 3;
     f_rpi_slots_each = 3; f_evict = true; f_bytes_scale = 1.0;
-    f_job_fuel = 50_000_000; f_speed_scale = 4200.0 }
+    f_job_fuel = 50_000_000; f_speed_scale = 4200.0; f_pause_budget = 50_000_000 }
 
 type stats = {
   f_jobs_done : int;
   f_jobs_done_rpi : int;
   f_evictions : int;
   f_eviction_failures : int;
+  f_eviction_retries : int;
   f_migration_ms_total : float;
   f_energy_kj : float;
   f_jobs_per_kj : float;
@@ -64,10 +67,13 @@ let run config (jobs : Link.compiled list) =
   in
   let done_total = ref 0 and done_rpi = ref 0 in
   let evictions = ref 0 and eviction_failures = ref 0 in
+  let eviction_retries = ref 0 in
   let migration_ms = ref 0.0 in
   let start_job slot quantum =
     let compiled = next_job () in
     let bin = Link.binary_for compiled slot.s_node.Node.n_arch in
+    (* a fresh job owes nothing its predecessor may have left behind *)
+    slot.s_stall_ms <- 0.0;
     slot.s_job <-
       Some { r_proc = Process.load bin; r_compiled = compiled; r_started_quantum = quantum }
   in
@@ -104,30 +110,42 @@ let run config (jobs : Link.compiled list) =
               let dst_bin =
                 Link.binary_for job.r_compiled Dapper_isa.Arch.Aarch64
               in
-              (match
-                 Migrate.migrate ~bytes_scale:config.f_bytes_scale
-                   ~src_node:Node.xeon ~dst_node:Node.rpi ~src_bin ~dst_bin
-                   job.r_proc
-               with
-               | Ok r ->
+              let scfg =
+                { (Session.default_config ~src_bin ~dst_bin) with
+                  Session.cfg_bytes_scale = config.f_bytes_scale;
+                  cfg_pause_budget = config.f_pause_budget }
+              in
+              (match Session.run scfg job.r_proc with
+               | Ok st ->
+                 let r = Session.finish st in
                  incr evictions;
-                 let cost = Migrate.total_ms r.Migrate.r_times in
+                 let cost = Session.total_ms r.Session.r_times in
                  migration_ms := !migration_ms +. cost;
+                 (* the migration's cost stalls the destination slot; the
+                    victim slot hands its job over and owes nothing *)
                  pi.s_stall_ms <- pi.s_stall_ms +. cost;
                  pi.s_job <-
-                   Some { r_proc = r.Migrate.r_process; r_compiled = job.r_compiled;
+                   Some { r_proc = r.Session.r_process; r_compiled = job.r_compiled;
                           r_started_quantum = q };
                  vs.s_job <- None;
                  start_job vs q
-               | Error _ ->
-                 (* e.g. the job finished during the pause; count and move on *)
-                 incr eviction_failures;
+               | Error e ->
+                 (* The session's abort already resumed the source. A
+                    transient failure (drain budget exhausted) leaves the
+                    job in place to retry at a later quantum; only
+                    structural failures count as lost evictions. *)
+                 if Dapper_error.retriable e then incr eviction_retries
+                 else incr eviction_failures;
                  (match job.r_proc.Process.exit_code with
                   | Some _ ->
+                    (* the job finished during the pause *)
                     incr done_total;
                     vs.s_job <- None;
                     start_job vs q
-                  | None -> Dapper.Monitor.resume job.r_proc))
+                  | None ->
+                    (* no migration happened: make sure no stall is charged
+                       for it when the job resumes here *)
+                    vs.s_stall_ms <- 0.0))
           end)
         rpi_slots;
     (* advance every busy slot by one quantum *)
@@ -177,6 +195,7 @@ let run config (jobs : Link.compiled list) =
     f_jobs_done_rpi = !done_rpi;
     f_evictions = !evictions;
     f_eviction_failures = !eviction_failures;
+    f_eviction_retries = !eviction_retries;
     f_migration_ms_total = !migration_ms;
     f_energy_kj = energy_j /. 1000.0;
     f_jobs_per_kj = float_of_int !done_total /. (energy_j /. 1000.0) }

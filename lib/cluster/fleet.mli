@@ -4,9 +4,9 @@
     An infinite round-robin queue of compiled jobs is processed on a
     Xeon, optionally extended with Raspberry Pis. When every Xeon slot
     is busy, the queue backs up and a free Pi slot triggers eviction:
-    the most recently started Xeon job is live-migrated
-    (pause → dump → rewrite → restore via {!Dapper.Migrate}) onto the
-    Pi, and the freed Xeon slot takes the next queued job — the paper's
+    the most recently started Xeon job is live-migrated onto the Pi by
+    driving a {!Dapper.Session} through its five stages, and the freed
+    Xeon slot takes the next queued job — the paper's
     "simple scheduler to evict tasks ... when the x86-64 server runs
     out of CPU resources".
 
@@ -31,6 +31,9 @@ type config = {
           realistic multiples of the quantum; relative Xeon/Pi speed is
           preserved (default 4200: the Xeon interprets 1000
           instructions per simulated millisecond) *)
+  f_pause_budget : int;
+      (** drain budget for eviction pauses; a budget too small to
+          quiesce a job makes the eviction retry at a later quantum *)
 }
 
 val default_config : config
@@ -40,6 +43,12 @@ type stats = {
   f_jobs_done_rpi : int;
   f_evictions : int;
   f_eviction_failures : int;
+      (** evictions lost to structural failures (or the job exiting
+          during the pause); the job is not migrated *)
+  f_eviction_retries : int;
+      (** eviction attempts abandoned on a transient failure (e.g. drain
+          budget exhausted): the job resumes on its Xeon slot and the
+          eviction is retried at a later quantum *)
   f_migration_ms_total : float;
   f_energy_kj : float;
   f_jobs_per_kj : float;

@@ -23,6 +23,10 @@ type result = {
   r_throughput_per_min : float;
 }
 
+let job_kind_of_session ~name ~xeon_ms ~rpi_ms ~times =
+  { jk_name = name; jk_xeon_ms = xeon_ms; jk_rpi_ms = rpi_ms;
+    jk_migration_ms = Dapper.Session.total_ms times }
+
 let default_window_ms = 30.0 *. 60.0 *. 1000.0
 let xeon_node = Node.xeon
 let rpi_node = Node.rpi

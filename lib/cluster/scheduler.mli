@@ -32,6 +32,13 @@ type result = {
   r_throughput_per_min : float;
 }
 
+(** Build a job kind whose one-time eviction cost is the total of a
+    migration session's per-stage records — the analytic scheduler's
+    migration costs come from real sessions, not hand-entered numbers. *)
+val job_kind_of_session :
+  name:string -> xeon_ms:float -> rpi_ms:float ->
+  times:Dapper.Session.phase_times -> job_kind
+
 (** [run config kinds] processes a round-robin queue of [kinds]. *)
 val run : config -> job_kind list -> result
 

@@ -1,18 +1,11 @@
+open Dapper_util
 open Dapper_isa
 open Dapper_machine
 open Dapper_binary
 
-type error =
-  | Layout_incompatible of string
-  | Active_function of string
-  | Pause_failed of Monitor.error
-  | Transform_failed of string
+type error = Dapper_error.t
 
-let error_to_string = function
-  | Layout_incompatible msg -> "layout incompatible: " ^ msg
-  | Active_function fn -> "thread suspended inside updated function " ^ fn
-  | Pause_failed e -> "pause failed: " ^ Monitor.error_to_string e
-  | Transform_failed msg -> "transform failed: " ^ msg
+let error_to_string = Dapper_error.to_string
 
 let changed_functions ~(old_bin : Binary.t) ~(new_bin : Binary.t) =
   (* Index the new binary once instead of a linear find_func per old
@@ -42,10 +35,10 @@ let check_layout ~(old_bin : Binary.t) ~(new_bin : Binary.t) =
        | Some s' when Int64.equal s.sym_addr s'.sym_addr -> go rest
        | Some s' ->
          Error
-           (Layout_incompatible
+           (Dapper_error.Layout_incompatible
               (Printf.sprintf "%s moved from 0x%Lx to 0x%Lx" s.sym_name s.sym_addr
                  s'.sym_addr))
-       | None -> Error (Layout_incompatible (s.sym_name ^ " disappeared")))
+       | None -> Error (Dapper_error.Layout_incompatible (s.sym_name ^ " disappeared")))
   in
   go old_bin.bin_symbols
 
@@ -87,52 +80,38 @@ let check_quiescent_outside ~new_bin changed stacks =
           frames
       in
       (match offending with
-       | Some fr -> Error (Active_function fr.fr_func.Stackmap.fm_name)
+       | Some fr -> Error (Dapper_error.Active_function fr.fr_func.Stackmap.fm_name)
        | None -> scan rest)
   in
   scan stacks
 
+let ( let* ) = Result.bind
+
 let update ?(retries = 16) (p : Process.t) ~old_bin ~new_bin =
   if not (Arch.equal old_bin.Binary.bin_arch new_bin.Binary.bin_arch) then
-    Error (Layout_incompatible "architectures differ; use Rewrite for migration")
+    Error (Dapper_error.Layout_incompatible "architectures differ; use Rewrite for migration")
   else
-    match check_layout ~old_bin ~new_bin with
-    | Error e -> Error e
-    | Ok () ->
-      let changed = changed_functions ~old_bin ~new_bin in
-      (* If a thread happens to be parked inside a changed function, let
-         the process run a little further and try again — the standard
-         DSU activeness dance. *)
-      let rec attempt n =
-        match Monitor.request_pause p ~budget:50_000_000 with
-        | Error e -> Error (Pause_failed e)
-        | Ok _ ->
-          (try
-             let image = Dapper_criu.Dump.dump p in
-             let stacks =
-               Unwind.unwind_all image old_bin.bin_stackmaps
-                 ~anchors:old_bin.bin_anchors
-             in
-             match check_quiescent_outside ~new_bin changed stacks with
-             | Error (Active_function _ as e) ->
-               if n = 0 then Error e
-               else begin
-                 Monitor.resume p;
-                 ignore (Process.run p ~max_instrs:1_000);
-                 attempt (n - 1)
-               end
-             | Error e -> Error e
-             | Ok () ->
-               let image', _ = Rewrite.rewrite image ~src:old_bin ~dst:new_bin in
-               Ok (Dapper_criu.Restore.restore image' new_bin)
-           with
-           | Dapper_criu.Dump.Dump_error msg
-           | Dapper_criu.Restore.Restore_error msg
-           | Rewrite.Rewrite_error msg
-           | Unwind.Unwind_error msg ->
-             Error (Transform_failed msg))
+    let* () = check_layout ~old_bin ~new_bin in
+    let changed = changed_functions ~old_bin ~new_bin in
+    let attempt () =
+      let* _ = Monitor.request_pause p ~budget:50_000_000 in
+      let* image = Dapper_criu.Dump.dump p in
+      let* stacks =
+        Unwind.unwind_all image old_bin.bin_stackmaps ~anchors:old_bin.bin_anchors
       in
-      attempt retries
+      let* () = check_quiescent_outside ~new_bin changed stacks in
+      let* image', _ = Rewrite.rewrite image ~src:old_bin ~dst:new_bin in
+      Dapper_criu.Restore.restore image' new_bin
+    in
+    (* If a thread happens to be parked inside a changed function, let
+       the process run a little further and try again — the standard
+       DSU activeness dance. *)
+    Session.retry ~attempts:(retries + 1)
+      ~should_retry:(function Dapper_error.Active_function _ -> true | _ -> false)
+      ~before_retry:(fun () ->
+        Monitor.resume p;
+        ignore (Process.run p ~max_instrs:1_000))
+      attempt
 
 let update_compiled p ~old_version ~new_version ~arch =
   update p

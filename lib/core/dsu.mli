@@ -17,17 +17,17 @@
     state across: untouched functions rewrite 1:1, and the changed
     functions simply get their new code pages. *)
 
+open Dapper_util
 open Dapper_isa
 open Dapper_machine
 open Dapper_binary
 
-type error =
-  | Layout_incompatible of string
-      (** a symbol moved; the new version cannot be hot-applied *)
-  | Active_function of string
-      (** some thread is suspended inside a changed function *)
-  | Pause_failed of Monitor.error
-  | Transform_failed of string
+(** DSU failures use the unified error surface: [Layout_incompatible] (a
+    symbol moved; the new version cannot be hot-applied),
+    [Active_function] (some thread is suspended inside a changed
+    function), plus the pause/dump/recode/restore errors of the shared
+    pipeline. *)
+type error = Dapper_error.t
 
 val error_to_string : error -> string
 

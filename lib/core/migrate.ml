@@ -1,21 +1,23 @@
-open Dapper_isa
+open Dapper_util
 open Dapper_binary
 open Dapper_machine
-open Dapper_criu
 open Dapper_net
 
-type phase_times = {
+type phase_times = Session.phase_times = {
   t_checkpoint_ms : float;
   t_recode_ms : float;
   t_scp_ms : float;
   t_restore_ms : float;
 }
 
-let total_ms t = t.t_checkpoint_ms +. t.t_recode_ms +. t.t_scp_ms +. t.t_restore_ms
+let total_ms = Session.total_ms
 
-type page_server_stats = { mutable srv_pages : int; mutable srv_ns : float }
+type page_server_stats = Transport.page_stats = {
+  mutable srv_pages : int;
+  mutable srv_ns : float;
+}
 
-type result = {
+type result = Session.outcome = {
   r_process : Process.t;
   r_times : phase_times;
   r_image_bytes : int;
@@ -24,35 +26,13 @@ type result = {
   r_page_server : page_server_stats option;
 }
 
-type error =
-  | Pause_failed of Monitor.error
-  | Transform_failed of string
+type error = Dapper_error.t
 
-let error_to_string = function
-  | Pause_failed e -> "pause failed: " ^ Monitor.error_to_string e
-  | Transform_failed msg -> "transform failed: " ^ msg
+let error_to_string = Dapper_error.to_string
 
-(* Cost-model constants (see EXPERIMENTS.md, "Calibration"). *)
-let checkpoint_fixed_ns = 3.0e6    (* freeze + /proc walk + image setup *)
-let restore_fixed_ns = 3.0e6
-let lazy_restore_ns = 8.0e6        (* paper: "takes about 8 ms" *)
-let recode_item_ns = 150_000.0     (* per live value / frame on the Xeon *)
-let recode_byte_ns = 2.6           (* per image byte decoded+re-encoded *)
-let image_io_gbps = 24.0           (* tmpfs-backed dump/restore bandwidth *)
-
-let checkpoint_ms ~bytes =
-  (checkpoint_fixed_ns +. (float_of_int bytes /. image_io_gbps)) /. 1e6
-
-let restore_ms ~bytes =
-  (restore_fixed_ns +. (float_of_int bytes /. image_io_gbps)) /. 1e6
-
-let recode_ns (node : Node.t) ?(bytes = 0) (stats : Rewrite.stats) =
-  (* measured per-architecture recode slowdown (paper Fig. 5), independent
-     of the raw execution-speed ratio *)
-  let slowdown = Arch.recode_slowdown node.n_arch in
-  (float_of_int (Rewrite.work_items stats) *. recode_item_ns
-   +. (float_of_int bytes *. recode_byte_ns))
-  *. slowdown
+let recode_ns = Session.recode_ns
+let checkpoint_ms = Session.checkpoint_ms
+let restore_ms = Session.restore_ms
 
 (* Cost report with the index/plan-cache observability counters; new
    surfaces only (the fig5/fig7 tables keep their exact seed format). *)
@@ -73,62 +53,17 @@ let migrate ?(lazy_pages = false) ?(link = Link.infiniband) ?recode_on
     ?(bytes_scale = 1.0) ?(budget = 50_000_000) ~(src_node : Node.t)
     ~(dst_node : Node.t) ~(dst_bin : Binary.t) ~(src_bin : Binary.t)
     (p : Process.t) =
-  let recode_node = Option.value ~default:src_node recode_on in
-  match Monitor.request_pause p ~budget with
-  | Error e -> Error (Pause_failed e)
-  | Ok pause_stats ->
-    (try
-       let image = Dump.dump ~lazy_pages p in
-       let dump_stats = Dump.stats_of image in
-       let image', rw_stats = Rewrite.rewrite image ~src:src_bin ~dst:dst_bin in
-       let image_bytes = Images.total_bytes image' in
-       let scaled b = int_of_float (float_of_int b *. bytes_scale) in
-       (* lazy page server: serves from the paused source process. *)
-       let server_stats =
-         if lazy_pages then Some { srv_pages = 0; srv_ns = 0.0 } else None
-       in
-       let page_source =
-         match server_stats with
-         | None -> None
-         | Some stats ->
-           Some
-             (fun pn ->
-               match Memory.page_contents p.Process.mem pn with
-               | Some data ->
-                 stats.srv_pages <- stats.srv_pages + 1;
-                 (* round-trip latency is per request; payload scales with
-                    the full-size footprint *)
-                 stats.srv_ns <-
-                   stats.srv_ns
-                   +. Link.page_fetch_ns link
-                        (int_of_float (float_of_int Layout.page_size *. bytes_scale));
-                 Some (Bytes.copy data)
-               | None -> None)
-       in
-       let restored = Restore.restore ?page_source image' dst_bin in
-       ignore src_node;
-       ignore dst_node;
-       let checkpoint =
-         checkpoint_ms ~bytes:(scaled (dump_stats.Dump.pages_dumped * Layout.page_size))
-       in
-       let recode = recode_ns recode_node ~bytes:(scaled image_bytes) rw_stats in
-       let scp_ns = Link.transfer_ns link (scaled image_bytes) in
-       let restore =
-         if lazy_pages then lazy_restore_ns /. 1e6
-         else restore_ms ~bytes:(scaled image_bytes)
-       in
-       Ok
-         { r_process = restored;
-           r_times =
-             { t_checkpoint_ms = checkpoint;
-               t_recode_ms = recode /. 1e6;
-               t_scp_ms = scp_ns /. 1e6;
-               t_restore_ms = restore };
-           r_image_bytes = image_bytes;
-           r_rewrite = rw_stats;
-           r_pause = pause_stats;
-           r_page_server = server_stats }
-     with
-     | Dump.Dump_error msg | Restore.Restore_error msg | Rewrite.Rewrite_error msg
-     | Unwind.Unwind_error msg ->
-       Error (Transform_failed msg))
+  let transport =
+    if lazy_pages then Transport.page_server link else Transport.scp link
+  in
+  let cfg =
+    { Session.cfg_src_node = src_node;
+      cfg_dst_node = dst_node;
+      cfg_recode_node = Option.value ~default:src_node recode_on;
+      cfg_transport = transport;
+      cfg_src_bin = src_bin;
+      cfg_dst_bin = dst_bin;
+      cfg_bytes_scale = bytes_scale;
+      cfg_pause_budget = budget }
+  in
+  Result.map Session.finish (Session.run cfg p)

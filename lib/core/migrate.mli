@@ -2,6 +2,13 @@
     restore, with the paper's cost breakdown (Fig. 5/7: checkpoint,
     recode, scp, restore).
 
+    [migrate] is a thin driver over {!Session}: it builds a session
+    config (picking an scp or page-server {!Transport.t} from
+    [lazy_pages]/[link]) and runs the five typed stages, so per-stage
+    costs come from the session's stage records and any stage failure
+    resumes the source. The types below are re-exports of the session's;
+    drive {!Session} directly for stage-level control.
+
     Execution inside the simulator is instruction-accurate; the phase
     times come from a calibrated cost model over the {e actual} work
     performed (pages dumped, live values rewritten, bytes transferred),
@@ -11,11 +18,12 @@
     working sets when paper-magnitude byte counts are wanted (see
     EXPERIMENTS.md). *)
 
+open Dapper_util
 open Dapper_binary
 open Dapper_machine
 open Dapper_net
 
-type phase_times = {
+type phase_times = Session.phase_times = {
   t_checkpoint_ms : float;  (** pause + dump *)
   t_recode_ms : float;
   t_scp_ms : float;
@@ -24,9 +32,12 @@ type phase_times = {
 
 val total_ms : phase_times -> float
 
-type page_server_stats = { mutable srv_pages : int; mutable srv_ns : float }
+type page_server_stats = Transport.page_stats = {
+  mutable srv_pages : int;
+  mutable srv_ns : float;
+}
 
-type result = {
+type result = Session.outcome = {
   r_process : Process.t;          (** restored process on the destination *)
   r_times : phase_times;
   r_image_bytes : int;
@@ -35,9 +46,9 @@ type result = {
   r_page_server : page_server_stats option;  (** present in lazy mode *)
 }
 
-type error =
-  | Pause_failed of Monitor.error
-  | Transform_failed of string
+(** Migration failures are the unified {!Dapper_error.t};
+    [Dapper_error.stage_of] recovers which stage failed. *)
+type error = Dapper_error.t
 
 val error_to_string : error -> string
 
@@ -45,15 +56,20 @@ val error_to_string : error -> string
     work (exposed for Fig. 5's recode-on-x86 vs recode-on-arm rows). *)
 val recode_ns : Node.t -> ?bytes:int -> Rewrite.stats -> float
 
-(** Checkpoint/restore cost for an image of the given (scaled) size. *)
-val checkpoint_ms : bytes:int -> float
-val restore_ms : bytes:int -> float
+(** Checkpoint/restore cost for an image of the given (scaled) size on
+    [node]. The costs are anchored on the nodes each phase was measured
+    on in the paper (checkpoint on the Xeon, restore on the Pi) and
+    scale with the node's relative core speed. *)
+val checkpoint_ms : node:Node.t -> bytes:int -> float
+val restore_ms : node:Node.t -> bytes:int -> float
 
 (** One-line migration cost report: phase times plus the index and
     rewrite-plan-cache counters ({!Rewrite.stats} observability
     fields). *)
 val cost_report : result -> string
 
+(** [src_node]/[dst_node] parameterize the checkpoint and restore costs
+    (and [recode_on] defaults to [src_node]). *)
 val migrate :
   ?lazy_pages:bool ->
   ?link:Link.t ->

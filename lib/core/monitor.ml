@@ -1,3 +1,4 @@
+open Dapper_util
 open Dapper_isa
 open Dapper_binary
 open Dapper_machine
@@ -8,16 +9,9 @@ type pause_stats = {
   ps_rolled_back : int;
 }
 
-type error =
-  | Drain_budget_exhausted
-  | Not_at_equivalence_point of int * int64
-  | Process_exited
+type error = Dapper_error.t
 
-let error_to_string = function
-  | Drain_budget_exhausted -> "drain budget exhausted before all threads quiesced"
-  | Not_at_equivalence_point (tid, pc) ->
-    Printf.sprintf "thread %d stopped at 0x%Lx, not an equivalence point" tid pc
-  | Process_exited -> "process exited during pause"
+let error_to_string = Dapper_error.to_string
 
 let index_of (p : Process.t) =
   Stackmap_index.get p.Process.binary.Binary.bin_stackmaps
@@ -28,11 +22,11 @@ let index_of (p : Process.t) =
 let validate_trap p (th : Process.thread) =
   let ix = index_of p in
   match Stackmap_index.func_of_addr ix th.pc with
-  | None -> Error (Not_at_equivalence_point (th.tid, th.pc))
+  | None -> Error (Dapper_error.Not_at_equivalence_point (th.tid, th.pc))
   | Some fm ->
     (match Stackmap_index.eqpoint_by_resume ix fm.fm_name th.pc with
      | Some _ -> Ok ()
-     | None -> Error (Not_at_equivalence_point (th.tid, th.pc)))
+     | None -> Error (Dapper_error.Not_at_equivalence_point (th.tid, th.pc)))
 
 (* Roll a thread blocked inside a syscall wrapper back to the call-site
    equivalence point in its caller: pop the wrapper frame (frameless
@@ -50,7 +44,7 @@ let rollback_blocked p (th : Process.thread) =
   in
   let ix = index_of p in
   match Stackmap_index.func_of_addr ix ret_addr with
-  | None -> Error (Not_at_equivalence_point (th.tid, ret_addr))
+  | None -> Error (Dapper_error.Not_at_equivalence_point (th.tid, ret_addr))
   | Some fm ->
     (match Stackmap_index.eqpoint_by_resume ix fm.fm_name ret_addr with
      | Some ep ->
@@ -58,7 +52,7 @@ let rollback_blocked p (th : Process.thread) =
        th.pc <- ep.Stackmap.ep_addr;
        th.status <- Process.Stopped;
        Ok ()
-     | None -> Error (Not_at_equivalence_point (th.tid, ret_addr)))
+     | None -> Error (Dapper_error.Not_at_equivalence_point (th.tid, ret_addr)))
 
 let request_pause (p : Process.t) ~budget =
   let flag = p.Process.binary.Binary.bin_anchors.a_flag in
@@ -88,20 +82,20 @@ let request_pause (p : Process.t) ~budget =
       p.Process.threads;
     if !result = None then begin
       let live = Process.live_threads p in
-      if live = [] then finish (Error Process_exited)
+      if live = [] then finish (Error Dapper_error.Process_exited)
       else if
         List.for_all (fun (th : Process.thread) -> th.status = Process.Stopped) live
       then
         finish
           (Ok { ps_instrs_drained = !drained; ps_trapped = !trapped;
                 ps_rolled_back = !rolled })
-      else if !remaining <= 0 then finish (Error Drain_budget_exhausted)
+      else if !remaining <= 0 then finish (Error Dapper_error.Pause_budget_exhausted)
       else begin
         let chunk = min 100_000 !remaining in
         let before = p.Process.total_instrs in
         (match Process.run p ~max_instrs:chunk with
-         | Process.Exited_run _ -> finish (Error Process_exited)
-         | Process.Crashed _ -> finish (Error Process_exited)
+         | Process.Exited_run _ -> finish (Error Dapper_error.Process_exited)
+         | Process.Crashed _ -> finish (Error Dapper_error.Process_exited)
          | Process.Progress | Process.Idle -> ());
         let used = Int64.sub p.Process.total_instrs before in
         drained := Int64.add !drained used;

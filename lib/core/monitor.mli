@@ -9,6 +9,7 @@
     setjmp rollback of Section III-B), and finally stops the whole
     process so CRIU can dump it. *)
 
+open Dapper_util
 open Dapper_machine
 
 type pause_stats = {
@@ -17,10 +18,11 @@ type pause_stats = {
   ps_rolled_back : int;       (** blocked threads rolled back to a call site *)
 }
 
-type error =
-  | Drain_budget_exhausted   (** some thread never reached an equivalence point *)
-  | Not_at_equivalence_point of int * int64
-  | Process_exited
+(** Pause failures are part of the unified error surface:
+    [Pause_budget_exhausted] (some thread never reached an equivalence
+    point within the drain budget), [Not_at_equivalence_point] and
+    [Process_exited]. *)
+type error = Dapper_error.t
 
 val error_to_string : error -> string
 

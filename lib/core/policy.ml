@@ -19,20 +19,18 @@ type applied = {
   ap_binary : Binary.t;
 }
 
-type error =
-  | Pause_failed of Monitor.error
-  | Policy_failed of string
+type error = Dapper_error.t
 
-let error_to_string = function
-  | Pause_failed e -> "pause failed: " ^ Monitor.error_to_string e
-  | Policy_failed msg -> "policy failed: " ^ msg
+let error_to_string = Dapper_error.to_string
+
+let ( let* ) = Result.bind
 
 let ensure_paused p =
   if Process.all_quiescent p then Ok ()
   else
     match Monitor.request_pause p ~budget:50_000_000 with
     | Ok _ -> Ok ()
-    | Error e -> Error (Pause_failed e)
+    | Error _ as e -> e
 
 let apply ?report p ~current policy =
   match policy with
@@ -40,31 +38,25 @@ let apply ?report p ~current policy =
     (* Dsu handles its own pause so it can refuse before transforming. *)
     (match Dsu.update p ~old_bin:current ~new_bin with
      | Ok q -> Ok { ap_process = q; ap_binary = new_bin }
-     | Error e -> Error (Policy_failed (Dsu.error_to_string e)))
+     | Error e -> Error e)
   | Identity | Cross_isa _ | Reshuffle _ ->
-    (match ensure_paused p with
-     | Error e -> Error e
-     | Ok () ->
-       (try
-          let image = Dapper_criu.Dump.dump p in
-          let dst =
-            match policy with
-            | Identity -> current
-            | Cross_isa b -> b
-            | Reshuffle rng -> fst (Shuffle.shuffle_binary rng current)
-            | Software_update _ -> assert false
-          in
-          let image', rw = Rewrite.rewrite image ~src:current ~dst in
-          (match report with Some f -> f rw | None -> ());
-          let q = Dapper_criu.Restore.restore image' dst in
-          Ok { ap_process = q; ap_binary = dst }
-        with
-        | Dapper_criu.Dump.Dump_error msg
-        | Dapper_criu.Restore.Restore_error msg
-        | Rewrite.Rewrite_error msg
-        | Unwind.Unwind_error msg
-        | Shuffle.Shuffle_error msg ->
-          Error (Policy_failed msg)))
+    let* () = ensure_paused p in
+    let* image = Dapper_criu.Dump.dump p in
+    let* dst =
+      match policy with
+      | Identity -> Ok current
+      | Cross_isa b -> Ok b
+      | Reshuffle rng ->
+        (match Shuffle.shuffle_binary rng current with
+         | b, _ -> Ok b
+         | exception Shuffle.Shuffle_error msg ->
+           Error (Dapper_error.Shuffle_failed msg))
+      | Software_update _ -> assert false
+    in
+    let* image', rw = Rewrite.rewrite image ~src:current ~dst in
+    (match report with Some f -> f rw | None -> ());
+    let* q = Dapper_criu.Restore.restore image' dst in
+    Ok { ap_process = q; ap_binary = dst }
 
 let rerandomize_periodically ?report p ~current ~rng ~interval ~epochs =
   let rec go state epoch =

@@ -32,9 +32,10 @@ type applied = {
   ap_binary : Binary.t;   (** the binary the new process runs under *)
 }
 
-type error =
-  | Pause_failed of Monitor.error
-  | Policy_failed of string
+(** Policy failures use the unified error surface: pause errors,
+    pipeline errors ([Dump_failed], [Recode_failed], ...), plus
+    [Shuffle_failed] and the DSU-specific variants. *)
+type error = Dapper_error.t
 
 val error_to_string : error -> string
 

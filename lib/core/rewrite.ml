@@ -1,10 +1,9 @@
+open Dapper_util
 open Dapper_isa
 open Dapper_binary
 open Dapper_criu
 
-exception Rewrite_error of string
-
-let fail fmt = Printf.ksprintf (fun s -> raise (Rewrite_error s)) fmt
+let fail fmt = Dapper_error.failf (fun s -> Dapper_error.Recode_failed s) fmt
 
 type stats = {
   st_threads : int;
@@ -153,7 +152,7 @@ let place_frames ix_dst tid (ts : Unwind.thread_stack) =
 
 (* ----- the rewrite ----- *)
 
-let rewrite (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
+let rewrite_exn (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
   if not (Arch.equal image.is_files.fi_arch src.bin_arch) then
     fail "image architecture %s does not match source binary %s"
       (Arch.name image.is_files.fi_arch) (Arch.name src.bin_arch);
@@ -165,7 +164,9 @@ let rewrite (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
   let index_lookups0 = Stackmap_index.lookup_count () in
   let ix_src = Stackmap_index.get src_maps in
   let ix_dst = Stackmap_index.get dst_maps in
-  let stacks = Unwind.unwind_all image src_maps ~anchors:src.bin_anchors in
+  (* ok_exn re-raises the carrier: an unwind failure surfaces from the
+     public [rewrite] as [Unwind_failed], not disguised as a recode. *)
+  let stacks = Dapper_error.ok_exn (Unwind.unwind_all image src_maps ~anchors:src.bin_anchors) in
   let placed =
     List.map (fun ts -> (ts, place_frames ix_dst ts.Unwind.ts_tid ts)) stacks
   in
@@ -412,3 +413,6 @@ let rewrite (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
       st_interval_lookups = !interval_lookups }
   in
   (image', stats)
+
+let rewrite image ~src ~dst =
+  Dapper_error.protect (fun () -> rewrite_exn image ~src ~dst)

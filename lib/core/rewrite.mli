@@ -20,10 +20,9 @@
     unified address space. Works on both vanilla and lazy image sets
     (stacks are always dumped, so lazy pages are never needed). *)
 
+open Dapper_util
 open Dapper_binary
 open Dapper_criu
-
-exception Rewrite_error of string
 
 type stats = {
   st_threads : int;
@@ -45,4 +44,9 @@ type stats = {
     work. *)
 val work_items : stats -> int
 
-val rewrite : Images.image_set -> src:Binary.t -> dst:Binary.t -> Images.image_set * stats
+(** Fails with [Dapper_error.Recode_failed] on an arch/app mismatch or a
+    malformed image, [Dapper_error.Unwind_failed] if the source stack
+    walk fails. *)
+val rewrite :
+  Images.image_set -> src:Binary.t -> dst:Binary.t ->
+  (Images.image_set * stats, Dapper_error.t) result

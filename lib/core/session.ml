@@ -1,0 +1,271 @@
+open Dapper_util
+open Dapper_binary
+open Dapper_machine
+open Dapper_criu
+open Dapper_net
+
+type config = {
+  cfg_src_node : Node.t;
+  cfg_dst_node : Node.t;
+  cfg_recode_node : Node.t;
+  cfg_transport : Transport.t;
+  cfg_src_bin : Binary.t;
+  cfg_dst_bin : Binary.t;
+  cfg_bytes_scale : float;
+  cfg_pause_budget : int;
+}
+
+let default_config ~src_bin ~dst_bin =
+  { cfg_src_node = Node.xeon;
+    cfg_dst_node = Node.rpi;
+    cfg_recode_node = Node.xeon;
+    cfg_transport = Transport.scp Link.infiniband;
+    cfg_src_bin = src_bin;
+    cfg_dst_bin = dst_bin;
+    cfg_bytes_scale = 1.0;
+    cfg_pause_budget = 50_000_000 }
+
+(* Cost-model constants (see EXPERIMENTS.md, "Calibration"). *)
+let checkpoint_fixed_ns = 3.0e6    (* freeze + /proc walk + image setup *)
+let restore_fixed_ns = 3.0e6
+let lazy_restore_ns = 8.0e6        (* paper: "takes about 8 ms" *)
+let recode_item_ns = 150_000.0     (* per live value / frame on the Xeon *)
+let recode_byte_ns = 2.6           (* per image byte decoded+re-encoded *)
+let image_io_gbps = 24.0           (* tmpfs-backed dump/restore bandwidth *)
+
+(* The fixed+bandwidth costs were calibrated on a specific node of the
+   paper's testbed (checkpoint on the Xeon source, restore on the Pi
+   destination); other nodes scale with their relative core speed. *)
+let node_factor ~(anchor : Node.t) (node : Node.t) =
+  anchor.n_ops_per_ns /. node.n_ops_per_ns
+
+let checkpoint_ms ~node ~bytes =
+  (checkpoint_fixed_ns +. (float_of_int bytes /. image_io_gbps)) /. 1e6
+  *. node_factor ~anchor:Node.xeon node
+
+let restore_ms ~node ~bytes =
+  (restore_fixed_ns +. (float_of_int bytes /. image_io_gbps)) /. 1e6
+  *. node_factor ~anchor:Node.rpi node
+
+let lazy_restore_ms ~node =
+  lazy_restore_ns /. 1e6 *. node_factor ~anchor:Node.rpi node
+
+let recode_ns (node : Node.t) ?(bytes = 0) (stats : Rewrite.stats) =
+  (* measured per-architecture recode slowdown (paper Fig. 5), independent
+     of the raw execution-speed ratio *)
+  let slowdown = Dapper_isa.Arch.recode_slowdown node.n_arch in
+  (float_of_int (Rewrite.work_items stats) *. recode_item_ns
+   +. (float_of_int bytes *. recode_byte_ns))
+  *. slowdown
+
+type phase_times = {
+  t_checkpoint_ms : float;
+  t_recode_ms : float;
+  t_scp_ms : float;
+  t_restore_ms : float;
+}
+
+let total_ms t = t.t_checkpoint_ms +. t.t_recode_ms +. t.t_scp_ms +. t.t_restore_ms
+
+type stage_record = { sr_stage : Dapper_error.stage; sr_ms : float }
+
+let times_of_log log =
+  List.fold_left
+    (fun acc r ->
+      match r.sr_stage with
+      | Dapper_error.Pause | Dapper_error.Dump ->
+        { acc with t_checkpoint_ms = acc.t_checkpoint_ms +. r.sr_ms }
+      | Dapper_error.Recode -> { acc with t_recode_ms = acc.t_recode_ms +. r.sr_ms }
+      | Dapper_error.Transfer -> { acc with t_scp_ms = acc.t_scp_ms +. r.sr_ms }
+      | Dapper_error.Restore ->
+        { acc with t_restore_ms = acc.t_restore_ms +. r.sr_ms })
+    { t_checkpoint_ms = 0.0; t_recode_ms = 0.0; t_scp_ms = 0.0; t_restore_ms = 0.0 }
+    log
+
+type 'st t = {
+  s_cfg : config;
+  s_source : Process.t;
+  s_log : stage_record list;
+  s_state : 'st;
+}
+
+type ready = Ready
+
+type paused = { sp_pause : Monitor.pause_stats }
+
+type dumped = {
+  sd_pause : Monitor.pause_stats;
+  sd_image : Images.image_set;
+  sd_dump : Dump.stats;
+}
+
+type recoded = {
+  sc_pause : Monitor.pause_stats;
+  sc_image : Images.image_set;
+  sc_rewrite : Rewrite.stats;
+  sc_image_bytes : int;
+}
+
+type transferred = {
+  sx_pause : Monitor.pause_stats;
+  sx_image : Images.image_set;
+  sx_rewrite : Rewrite.stats;
+  sx_image_bytes : int;
+}
+
+type restored = {
+  sf_pause : Monitor.pause_stats;
+  sf_rewrite : Rewrite.stats;
+  sf_image_bytes : int;
+  sf_process : Process.t;
+  sf_page_server : Transport.page_stats option;
+}
+
+let start cfg source = { s_cfg = cfg; s_source = source; s_log = []; s_state = Ready }
+
+let stage_log s = List.rev s.s_log
+let times s = times_of_log s.s_log
+
+let abort s =
+  match s.s_source.Process.exit_code with
+  | Some _ -> ()  (* nothing left to resume *)
+  | None -> Monitor.resume s.s_source
+
+let scaled cfg b = int_of_float (float_of_int b *. cfg.cfg_bytes_scale)
+
+(* Advance to state [st], recording the stage's modeled cost; on error,
+   un-pause the source so a failed migration never strands it. *)
+let step s stage ~ms st =
+  { s with s_log = { sr_stage = stage; sr_ms = ms } :: s.s_log; s_state = st }
+
+let guard s f =
+  match f () with
+  | Ok _ as ok -> ok
+  | Error _ as err ->
+    abort s;
+    err
+
+let pause (s : ready t) =
+  guard s (fun () ->
+      match Monitor.request_pause s.s_source ~budget:s.s_cfg.cfg_pause_budget with
+      | Error _ as e -> e
+      | Ok ps ->
+        Ok (step s Dapper_error.Pause ~ms:0.0 { sp_pause = ps }))
+
+let dump (s : paused t) =
+  guard s (fun () ->
+      let lazy_pages = Transport.is_lazy s.s_cfg.cfg_transport in
+      match Dump.dump ~lazy_pages s.s_source with
+      | Error _ as e -> e
+      | Ok image ->
+        let st = Dump.stats_of image in
+        let ms =
+          checkpoint_ms ~node:s.s_cfg.cfg_src_node
+            ~bytes:(scaled s.s_cfg (st.Dump.pages_dumped * Layout.page_size))
+        in
+        Ok
+          (step s Dapper_error.Dump ~ms
+             { sd_pause = s.s_state.sp_pause; sd_image = image; sd_dump = st }))
+
+let recode (s : dumped t) =
+  guard s (fun () ->
+      let { sd_pause; sd_image; sd_dump = _ } = s.s_state in
+      match
+        Rewrite.rewrite sd_image ~src:s.s_cfg.cfg_src_bin ~dst:s.s_cfg.cfg_dst_bin
+      with
+      | Error _ as e -> e
+      | Ok (image', rw) ->
+        let image_bytes = Images.total_bytes image' in
+        let ms =
+          recode_ns s.s_cfg.cfg_recode_node ~bytes:(scaled s.s_cfg image_bytes) rw
+          /. 1e6
+        in
+        Ok
+          (step s Dapper_error.Recode ~ms
+             { sc_pause = sd_pause; sc_image = image';
+               sc_rewrite = rw; sc_image_bytes = image_bytes }))
+
+let transfer (s : recoded t) =
+  guard s (fun () ->
+      let { sc_pause; sc_image; sc_rewrite; sc_image_bytes } = s.s_state in
+      let ms =
+        Transport.transfer_ns s.s_cfg.cfg_transport (scaled s.s_cfg sc_image_bytes)
+        /. 1e6
+      in
+      Ok
+        (step s Dapper_error.Transfer ~ms
+           { sx_pause = sc_pause; sx_image = sc_image;
+             sx_rewrite = sc_rewrite; sx_image_bytes = sc_image_bytes }))
+
+let restore (s : transferred t) =
+  guard s (fun () ->
+      let { sx_pause; sx_image; sx_rewrite; sx_image_bytes } = s.s_state in
+      let cfg = s.s_cfg in
+      let transport = cfg.cfg_transport in
+      let lazy_pages = Transport.is_lazy transport in
+      (* Lazy page server: serves from the paused source process, with
+         round-trip accounting per fetched page. *)
+      let server_stats =
+        if lazy_pages then Some (Transport.fresh_page_stats ()) else None
+      in
+      let page_source =
+        match server_stats with
+        | None -> None
+        | Some stats ->
+          let fetch pn =
+            match Memory.page_contents s.s_source.Process.mem pn with
+            | Some data -> Some (Bytes.copy data)
+            | None -> None
+          in
+          Some
+            (Transport.serve_pages transport stats
+               ~page_bytes:(scaled cfg Layout.page_size) fetch)
+      in
+      match Restore.restore ?page_source sx_image cfg.cfg_dst_bin with
+      | Error _ as e -> e
+      | Ok q ->
+        let ms =
+          if lazy_pages then lazy_restore_ms ~node:cfg.cfg_dst_node
+          else restore_ms ~node:cfg.cfg_dst_node ~bytes:(scaled cfg sx_image_bytes)
+        in
+        Ok
+          (step s Dapper_error.Restore ~ms
+             { sf_pause = sx_pause; sf_rewrite = sx_rewrite;
+               sf_image_bytes = sx_image_bytes; sf_process = q;
+               sf_page_server = server_stats }))
+
+let rec retry ~attempts ?(should_retry = Dapper_error.retriable)
+    ?(before_retry = fun () -> ()) f =
+  match f () with
+  | Ok _ as ok -> ok
+  | Error e when attempts > 1 && should_retry e ->
+    before_retry ();
+    retry ~attempts:(attempts - 1) ~should_retry ~before_retry f
+  | Error _ as err -> err
+
+type outcome = {
+  r_process : Process.t;
+  r_times : phase_times;
+  r_image_bytes : int;
+  r_rewrite : Rewrite.stats;
+  r_pause : Monitor.pause_stats;
+  r_page_server : Transport.page_stats option;
+}
+
+let finish (s : restored t) =
+  let st = s.s_state in
+  { r_process = st.sf_process;
+    r_times = times s;
+    r_image_bytes = st.sf_image_bytes;
+    r_rewrite = st.sf_rewrite;
+    r_pause = st.sf_pause;
+    r_page_server = st.sf_page_server }
+
+let ( let* ) = Result.bind
+
+let run cfg p =
+  let* s = pause (start cfg p) in
+  let* s = dump s in
+  let* s = recode s in
+  let* s = transfer s in
+  restore s

@@ -1,0 +1,181 @@
+(** Migration sessions: the paper's pipeline as an explicit, typed state
+    machine.
+
+    A live migration proceeds [Paused -> Dumped -> Recoded ->
+    Transferred -> Restored]; each transition is a [result]-returning
+    step over a state-indexed session value, so a driver can only apply
+    stages in order, and per-stage timing, retry, and abort-with-resume
+    fall out of the structure:
+
+    - every completed step appends a {!stage_record} carrying that
+      stage's modeled cost contribution (the per-phase breakdown of
+      Fig. 5/7 is just {!times} over the log);
+    - any step may fail with a {!Dapper_error.t}; {!abort} (called
+      automatically by {!run}) un-pauses the source so a failed
+      migration never strands the process at its equivalence points;
+    - {!retry} re-runs a step while its error is transient
+      ({!Dapper_error.retriable} by default).
+
+    The eager-vs-lazy distinction lives in the session's
+    {!Transport.t}: a lazy transport makes [dump] keep non-essential
+    pages on the source and [restore] install a demand-page source
+    served (with accounting) from the paused source process. *)
+
+open Dapper_util
+open Dapper_binary
+open Dapper_machine
+open Dapper_criu
+open Dapper_net
+
+(** {1 Configuration} *)
+
+type config = {
+  cfg_src_node : Node.t;       (** where the process runs now *)
+  cfg_dst_node : Node.t;       (** where it resumes *)
+  cfg_recode_node : Node.t;    (** where the state rewrite executes *)
+  cfg_transport : Transport.t; (** eager scp or lazy page-server *)
+  cfg_src_bin : Binary.t;
+  cfg_dst_bin : Binary.t;
+  cfg_bytes_scale : float;     (** footprint multiplier for cost modeling *)
+  cfg_pause_budget : int;      (** drain budget (instructions) for pause *)
+}
+
+(** Xeon-to-Pi over infiniband scp with the standard drain budget — the
+    paper's testbed defaults. *)
+val default_config : src_bin:Binary.t -> dst_bin:Binary.t -> config
+
+(** {1 Per-stage cost model}
+
+    Calibrated against the paper's measurements (EXPERIMENTS.md,
+    "Calibration"). Checkpoint cost is anchored on the Xeon and restore
+    cost on the Pi — the nodes each phase was measured on — and scale
+    with the executing node's speed relative to its anchor. *)
+
+val checkpoint_ms : node:Node.t -> bytes:int -> float
+val restore_ms : node:Node.t -> bytes:int -> float
+val lazy_restore_ms : node:Node.t -> float
+
+(** [recode_ns node stats] models the state rewrite: per-work-item and
+    per-byte costs scaled by the node architecture's measured recode
+    slowdown (paper Fig. 5). *)
+val recode_ns : Node.t -> ?bytes:int -> Rewrite.stats -> float
+
+(** {1 Phase times} *)
+
+type phase_times = {
+  t_checkpoint_ms : float;
+  t_recode_ms : float;
+  t_scp_ms : float;
+  t_restore_ms : float;
+}
+
+val total_ms : phase_times -> float
+
+(** One completed stage and its modeled cost. *)
+type stage_record = { sr_stage : Dapper_error.stage; sr_ms : float }
+
+(** Fold a stage log into the classic four-phase breakdown (pause and
+    dump both contribute to the checkpoint phase). *)
+val times_of_log : stage_record list -> phase_times
+
+(** {1 The session state machine} *)
+
+type 'st t = private {
+  s_cfg : config;
+  s_source : Process.t;
+  s_log : stage_record list;  (** completed stages, most recent first *)
+  s_state : 'st;
+}
+
+(** Per-state payloads: each stage's evidence travels with the typed
+    session, so a later stage cannot run without it. *)
+
+type ready = Ready
+
+type paused = { sp_pause : Monitor.pause_stats }
+
+type dumped = {
+  sd_pause : Monitor.pause_stats;
+  sd_image : Images.image_set;
+  sd_dump : Dump.stats;
+}
+
+type recoded = {
+  sc_pause : Monitor.pause_stats;
+  sc_image : Images.image_set;
+  sc_rewrite : Rewrite.stats;
+  sc_image_bytes : int;
+}
+
+type transferred = {
+  sx_pause : Monitor.pause_stats;
+  sx_image : Images.image_set;
+  sx_rewrite : Rewrite.stats;
+  sx_image_bytes : int;
+}
+
+type restored = {
+  sf_pause : Monitor.pause_stats;
+  sf_rewrite : Rewrite.stats;
+  sf_image_bytes : int;
+  sf_process : Process.t;
+  sf_page_server : Transport.page_stats option;
+}
+
+val start : config -> Process.t -> ready t
+
+(** Quiesce the source at equivalence points. *)
+val pause : ready t -> (paused t, Dapper_error.t) result
+
+(** Checkpoint the quiesced source into an image set (lazy transports
+    keep non-essential pages on the source). *)
+val dump : paused t -> (dumped t, Dapper_error.t) result
+
+(** Rewrite the image for the destination binary/ISA. *)
+val recode : dumped t -> (recoded t, Dapper_error.t) result
+
+(** Move the (eager part of the) image over the transport. *)
+val transfer : recoded t -> (transferred t, Dapper_error.t) result
+
+(** Materialize the destination process; lazy transports install a
+    demand-page source served from the paused source process. *)
+val restore : transferred t -> (restored t, Dapper_error.t) result
+
+(** Un-pause the source (no-op if it already exited). Safe in any state;
+    the steps and {!run} call it on failure so callers only need it when
+    driving stages by hand and abandoning a session mid-way. *)
+val abort : _ t -> unit
+
+(** Completed stage records, in execution order. *)
+val stage_log : _ t -> stage_record list
+
+val times : _ t -> phase_times
+
+(** [retry ~attempts f] runs [f] up to [attempts] times, re-running
+    while [should_retry] (default {!Dapper_error.retriable}) accepts the
+    error; [before_retry] runs between attempts (e.g. let the source
+    execute a little further). *)
+val retry :
+  attempts:int ->
+  ?should_retry:(Dapper_error.t -> bool) ->
+  ?before_retry:(unit -> unit) ->
+  (unit -> ('a, Dapper_error.t) result) ->
+  ('a, Dapper_error.t) result
+
+(** {1 Driving a whole migration} *)
+
+(** The classic migration result, assembled from a completed session. *)
+type outcome = {
+  r_process : Process.t;
+  r_times : phase_times;
+  r_image_bytes : int;
+  r_rewrite : Rewrite.stats;
+  r_pause : Monitor.pause_stats;
+  r_page_server : Transport.page_stats option;
+}
+
+val finish : restored t -> outcome
+
+(** Run all five stages in order. On any stage failure the source is
+    resumed ({!abort}) and the stage's error returned. *)
+val run : config -> Process.t -> (restored t, Dapper_error.t) result

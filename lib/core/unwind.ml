@@ -1,10 +1,9 @@
+open Dapper_util
 open Dapper_isa
 open Dapper_binary
 open Dapper_criu
 
-exception Unwind_error of string
-
-let fail fmt = Printf.ksprintf (fun s -> raise (Unwind_error s)) fmt
+let fail fmt = Dapper_error.failf (fun s -> Dapper_error.Unwind_failed s) fmt
 
 type frame = {
   fr_func : Stackmap.func_map;
@@ -56,7 +55,7 @@ let innermost_ep ix (fm : Stackmap.func_map) pc =
      | Some ({ ep_kind = Stackmap.Call_site _; _ } as ep) -> (ep, true)
      | Some _ | None -> fail "thread paused at 0x%Lx: no equivalence point" pc)
 
-let unwind image maps ~(anchors : Binary.anchors) (tc : Images.thread_core) =
+let unwind_exn image maps ~(anchors : Binary.anchors) (tc : Images.thread_core) =
   let ix = Stackmap_index.get maps in
   let arch = tc.tc_arch in
   let ctx = Array.copy tc.tc_regs in
@@ -113,5 +112,11 @@ let unwind image maps ~(anchors : Binary.anchors) (tc : Images.thread_core) =
   { ts_tid = tc.tc_tid; ts_frames = frames; ts_arg_regs = arg_regs;
     ts_tls = tc.tc_tls }
 
+let unwind_all_exn image maps ~anchors =
+  List.map (unwind_exn image maps ~anchors) image.Images.is_cores
+
+let unwind image maps ~anchors tc =
+  Dapper_error.protect (fun () -> unwind_exn image maps ~anchors tc)
+
 let unwind_all image maps ~anchors =
-  List.map (unwind image maps ~anchors) image.Images.is_cores
+  Dapper_error.protect (fun () -> unwind_all_exn image maps ~anchors)

@@ -8,10 +8,9 @@
     the stack map at the frame's equivalence point, reading registers
     from the recovered context and memory from the image. *)
 
+open Dapper_util
 open Dapper_binary
 open Dapper_criu
-
-exception Unwind_error of string
 
 type frame = {
   fr_func : Stackmap.func_map;
@@ -31,10 +30,12 @@ type thread_stack = {
 }
 
 (** [unwind image maps tc] unwinds one thread; [maps] are the stack maps
-    of the binary the image was produced from. *)
+    of the binary the image was produced from. Fails with
+    [Dapper_error.Unwind_failed] on a corrupt stack (bad return address,
+    pause outside an equivalence point, ...). *)
 val unwind : Images.image_set -> Stackmap.func_map list -> anchors:Binary.anchors ->
-  Images.thread_core -> thread_stack
+  Images.thread_core -> (thread_stack, Dapper_error.t) result
 
 (** All threads of an image. *)
 val unwind_all : Images.image_set -> Stackmap.func_map list -> anchors:Binary.anchors ->
-  thread_stack list
+  (thread_stack list, Dapper_error.t) result

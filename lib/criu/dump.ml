@@ -1,7 +1,8 @@
+open Dapper_util
 open Dapper_binary
 open Dapper_machine
 
-exception Dump_error of string
+let fail fmt = Dapper_error.failf (fun s -> Dapper_error.Dump_failed s) fmt
 
 let kind_of = function
   | Process.Vma_code -> Images.Vk_code
@@ -10,9 +11,9 @@ let kind_of = function
   | Process.Vma_heap -> Images.Vk_heap
   | Process.Vma_stack t -> Images.Vk_stack t
 
-let dump ?(lazy_pages = false) (p : Process.t) =
+let dump_exn ?(lazy_pages = false) (p : Process.t) =
   if not (Process.all_quiescent p) then
-    raise (Dump_error "process has runnable threads; quiesce it first");
+    fail "process has runnable threads; quiesce it first";
   let live = Process.live_threads p in
   (* Execution-context pages: where each live thread's pc points. *)
   let pc_pages =
@@ -70,7 +71,7 @@ let dump ?(lazy_pages = false) (p : Process.t) =
     (fun pn ->
       match Memory.page_contents p.Process.mem pn with
       | Some data -> Buffer.add_bytes pages_blob data
-      | None -> raise (Dump_error (Printf.sprintf "page %d vanished" pn)))
+      | None -> fail "page %d vanished" pn)
     dumped_pages;
   (* VMAs: contiguous same-kind runs over all mapped pages. *)
   let vmas =
@@ -103,6 +104,8 @@ let dump ?(lazy_pages = false) (p : Process.t) =
     is_pages = Buffer.contents pages_blob;
     is_files = { Images.fi_app = p.Process.binary.Dapper_binary.Binary.bin_app;
                  fi_arch = p.Process.arch } }
+
+let dump ?lazy_pages p = Dapper_error.protect (fun () -> dump_exn ?lazy_pages p)
 
 type stats = { pages_dumped : int; pages_lazy : int; bytes : int }
 

@@ -10,13 +10,13 @@
     node and are listed in [pagemap.img] as lazy, to be served by a page
     server after restore (paper Section III-D3). *)
 
+open Dapper_util
 open Dapper_machine
 
-exception Dump_error of string
-
-(** Raises [Dump_error] if some thread is still runnable (the runtime
-    monitor must quiesce the process first). *)
-val dump : ?lazy_pages:bool -> Process.t -> Images.image_set
+(** Returns [Error (Dapper_error.Dump_failed _)] if some thread is still
+    runnable (the runtime monitor must quiesce the process first). *)
+val dump :
+  ?lazy_pages:bool -> Process.t -> (Images.image_set, Dapper_error.t) result
 
 (** Statistics used by the cost model. *)
 type stats = { pages_dumped : int; pages_lazy : int; bytes : int }

@@ -1,12 +1,11 @@
+open Dapper_util
 open Dapper_isa
 open Dapper_binary
 open Dapper_machine
 
-exception Restore_error of string
+let fail fmt = Dapper_error.failf (fun s -> Dapper_error.Restore_failed s) fmt
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Restore_error s)) fmt
-
-let restore ?page_source (is : Images.image_set) (binary : Binary.t) =
+let restore_exn ?page_source (is : Images.image_set) (binary : Binary.t) =
   if not (Arch.equal is.is_files.fi_arch binary.Binary.bin_arch) then
     fail "architecture mismatch: image is %s, binary is %s"
       (Arch.name is.is_files.fi_arch)
@@ -83,3 +82,6 @@ let restore ?page_source (is : Images.image_set) (binary : Binary.t) =
   (* Drop the transformation-request flag so checkers do not re-trap. *)
   Memory.write_u64 mem binary.Binary.bin_anchors.a_flag 0L;
   p
+
+let restore ?page_source is binary =
+  Dapper_error.protect (fun () -> restore_exn ?page_source is binary)

@@ -2,15 +2,18 @@
 
     The target binary must match the image's architecture and
     application — restoring an unrewritten x86-64 image on an aarch64
-    node is rejected, which is exactly why Dapper's rewriter exists.
+    node is rejected with [Error (Dapper_error.Restore_failed _)], which
+    is exactly why Dapper's rewriter exists.
 
     [page_source] serves lazily-migrated pages on first access (the page
     server client); omit it for a vanilla (fully-copied) restore. *)
 
+open Dapper_util
 open Dapper_binary
 open Dapper_machine
 
-exception Restore_error of string
-
 val restore :
-  ?page_source:(int -> bytes option) -> Images.image_set -> Binary.t -> Process.t
+  ?page_source:(int -> bytes option) ->
+  Images.image_set ->
+  Binary.t ->
+  (Process.t, Dapper_error.t) result

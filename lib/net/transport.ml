@@ -1,0 +1,43 @@
+type page_stats = { mutable srv_pages : int; mutable srv_ns : float }
+
+type kind = Scp | Page_server
+
+type t = {
+  t_kind : kind;
+  t_link : Link.t;
+  t_name : string;
+  t_cost_factor : float;  (* >= 1.0; congestion/retransmission multiplier *)
+}
+
+let scp link =
+  { t_kind = Scp; t_link = link; t_name = "scp/" ^ link.Link.l_name;
+    t_cost_factor = 1.0 }
+
+let page_server link =
+  { t_kind = Page_server; t_link = link;
+    t_name = "page-server/" ^ link.Link.l_name; t_cost_factor = 1.0 }
+
+let degraded ~factor t =
+  if factor < 1.0 then invalid_arg "Transport.degraded: factor < 1.0";
+  { t with
+    t_name = Printf.sprintf "%s (degraded x%g)" t.t_name factor;
+    t_cost_factor = t.t_cost_factor *. factor }
+
+let name t = t.t_name
+let link t = t.t_link
+let is_lazy t = t.t_kind = Page_server
+
+let transfer_ns t bytes = Link.transfer_ns t.t_link bytes *. t.t_cost_factor
+let page_fetch_ns t bytes = Link.page_fetch_ns t.t_link bytes *. t.t_cost_factor
+
+let fresh_page_stats () = { srv_pages = 0; srv_ns = 0.0 }
+
+let serve_pages t stats ~page_bytes fetch =
+  if not (is_lazy t) then invalid_arg "Transport.serve_pages: not a lazy transport";
+  fun pn ->
+    match fetch pn with
+    | None -> None
+    | Some data ->
+      stats.srv_pages <- stats.srv_pages + 1;
+      stats.srv_ns <- stats.srv_ns +. page_fetch_ns t page_bytes;
+      Some data

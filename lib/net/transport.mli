@@ -1,0 +1,54 @@
+(** Transports: how a checkpoint image (and, for post-copy migration,
+    individual pages) moves between nodes over a {!Link.t}.
+
+    The two paper variants are {!scp} — the whole image is copied
+    eagerly before restore — and {!page_server} — a minimal image is
+    copied eagerly and memory pages are served on demand from the
+    paused source (CRIU's lazy-pages protocol). Both share the same
+    eager-transfer cost model; they differ in whether the destination
+    may fault pages back through {!serve_pages}.
+
+    {!degraded} wraps any transport with a cost multiplier, modelling a
+    congested or lossy link (retransmissions inflate effective transfer
+    time); it composes, leaving room for retrying transports later. *)
+
+type t
+
+(** Per-session page-server accounting: pages served on demand from the
+    paused source, and the cumulative network time they cost. *)
+type page_stats = { mutable srv_pages : int; mutable srv_ns : float }
+
+(** Eager whole-image copy over [link]; no demand paging. *)
+val scp : Link.t -> t
+
+(** Lazy post-copy transport: eager copy of the minimal image over
+    [link], remaining pages served on demand. *)
+val page_server : Link.t -> t
+
+(** [degraded ~factor t] costs [factor] times as much per transfer and
+    per page fetch ([factor >= 1.0]; raises [Invalid_argument]
+    otherwise). *)
+val degraded : factor:float -> t -> t
+
+val name : t -> string
+val link : t -> Link.t
+
+(** True when the transport serves pages on demand (restore should
+    install a page source and defer full memory materialization). *)
+val is_lazy : t -> bool
+
+(** Nanoseconds to move [bytes] of eager image over this transport. *)
+val transfer_ns : t -> int -> float
+
+(** Nanoseconds for one demand-paged fetch of a [bytes]-sized payload
+    (round-trip latency plus payload). *)
+val page_fetch_ns : t -> int -> float
+
+val fresh_page_stats : unit -> page_stats
+
+(** [serve_pages t stats ~page_bytes fetch] wraps a raw page-content
+    lookup with this transport's accounting: every successful fetch
+    bumps [stats.srv_pages] and charges [page_fetch_ns t page_bytes]
+    to [stats.srv_ns]. Raises [Invalid_argument] if [t] is not lazy. *)
+val serve_pages :
+  t -> page_stats -> page_bytes:int -> (int -> bytes option) -> int -> bytes option

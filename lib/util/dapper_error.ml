@@ -1,0 +1,63 @@
+type stage = Pause | Dump | Recode | Transfer | Restore
+
+let stage_name = function
+  | Pause -> "pause"
+  | Dump -> "dump"
+  | Recode -> "recode"
+  | Transfer -> "transfer"
+  | Restore -> "restore"
+
+type t =
+  | Pause_budget_exhausted
+  | Not_at_equivalence_point of int * int64
+  | Process_exited
+  | Dump_failed of string
+  | Unwind_failed of string
+  | Recode_failed of string
+  | Shuffle_failed of string
+  | Layout_incompatible of string
+  | Active_function of string
+  | Transfer_failed of string
+  | Restore_failed of string
+
+let to_string = function
+  | Pause_budget_exhausted -> "drain budget exhausted before all threads quiesced"
+  | Not_at_equivalence_point (tid, pc) ->
+    Printf.sprintf "thread %d stopped at 0x%Lx, not an equivalence point" tid pc
+  | Process_exited -> "process exited during pause"
+  | Dump_failed msg -> "dump failed: " ^ msg
+  | Unwind_failed msg -> "unwind failed: " ^ msg
+  | Recode_failed msg -> "recode failed: " ^ msg
+  | Shuffle_failed msg -> "shuffle failed: " ^ msg
+  | Layout_incompatible msg -> "layout incompatible: " ^ msg
+  | Active_function f -> "function still active on a stack: " ^ f
+  | Transfer_failed msg -> "transfer failed: " ^ msg
+  | Restore_failed msg -> "restore failed: " ^ msg
+
+let stage_of = function
+  | Pause_budget_exhausted | Not_at_equivalence_point _ | Process_exited -> Pause
+  | Dump_failed _ -> Dump
+  | Unwind_failed _ | Recode_failed _ | Shuffle_failed _ | Layout_incompatible _
+  | Active_function _ -> Recode
+  | Transfer_failed _ -> Transfer
+  | Restore_failed _ -> Restore
+
+let retriable = function
+  | Pause_budget_exhausted | Active_function _ -> true
+  | Not_at_equivalence_point _ | Process_exited | Dump_failed _ | Unwind_failed _
+  | Recode_failed _ | Shuffle_failed _ | Layout_incompatible _ | Transfer_failed _
+  | Restore_failed _ -> false
+
+exception Error of t
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some (Printf.sprintf "Dapper_error.Error(%s)" (to_string t))
+    | _ -> None)
+
+let raise_error t = raise (Error t)
+let failf wrap fmt = Printf.ksprintf (fun s -> raise_error (wrap s)) fmt
+
+let protect f = match f () with v -> Ok v | exception Error t -> Error t
+
+let ok_exn = function Ok v -> v | Error e -> raise_error e

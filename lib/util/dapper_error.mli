@@ -1,0 +1,62 @@
+(** Unified error surface for the migration pipeline.
+
+    Every stage of a migration session — pause, dump, recode, transfer,
+    restore — reports failures through the single variant {!t}, threaded
+    as a [result] through the public APIs of [lib/criu] and [lib/core].
+    The old per-module string exceptions ([Dump_error], [Restore_error],
+    [Rewrite_error], [Unwind_error]) are gone from the public surface;
+    internally modules may still raise the carrier exception {!Error}
+    and convert it to a [result] at their boundary with {!protect}. *)
+
+(** The pipeline stage an error belongs to, mirroring the session state
+    machine (Paused -> Dumped -> Recoded -> Transferred -> Restored). *)
+type stage = Pause | Dump | Recode | Transfer | Restore
+
+val stage_name : stage -> string
+
+type t =
+  | Pause_budget_exhausted
+      (** The drain budget ran out before all threads quiesced. *)
+  | Not_at_equivalence_point of int * int64
+      (** Thread [tid] stopped at [pc], which is not an equivalence
+          point (e.g. a maliciously raised SIGTRAP). *)
+  | Process_exited  (** The process ran to completion during the pause. *)
+  | Dump_failed of string  (** Checkpoint image could not be produced. *)
+  | Unwind_failed of string  (** Stack walk failed during recode. *)
+  | Recode_failed of string  (** Cross-ISA state rewrite failed. *)
+  | Shuffle_failed of string  (** Address-space re-randomization failed. *)
+  | Layout_incompatible of string
+      (** DSU: replacement binary changes the layout of a live frame. *)
+  | Active_function of string
+      (** DSU: a patched function is live on some stack. *)
+  | Transfer_failed of string  (** Image transfer between nodes failed. *)
+  | Restore_failed of string  (** Image could not be materialized. *)
+
+val to_string : t -> string
+
+(** The stage that produced the error. *)
+val stage_of : t -> stage
+
+(** [retriable e] is true for transient errors where letting the source
+    run further and re-attempting the stage can succeed (pause-budget
+    exhaustion, a still-active function); false for structural errors
+    (arch mismatch, corrupt image) that will fail identically again. *)
+val retriable : t -> bool
+
+(** Internal carrier, raised inside [lib/criu]/[lib/core] and converted
+    back to a [result] at public boundaries. It must not escape them. *)
+exception Error of t
+
+val raise_error : t -> 'a
+
+(** [failf wrap fmt ...] raises {!Error} with [wrap msg]. *)
+val failf : (string -> t) -> ('a, unit, string, 'b) format4 -> 'a
+
+(** [protect f] runs [f ()], catching {!Error} as [Error t]. Foreign
+    exceptions propagate unchanged. *)
+val protect : (unit -> 'a) -> ('a, t) result
+
+(** Unwrap [Ok], re-raising [Error e] as the carrier exception — for
+    call sites already inside a {!protect} region (or tests/benches
+    where failure is a bug). *)
+val ok_exn : ('a, t) result -> 'a

@@ -90,6 +90,33 @@ let test_fleet_edge_configs () =
      | exception Fleet.Fleet_error _ -> true
      | _ -> false)
 
+let test_fleet_eviction_retries () =
+  (* Jobs whose main is one long call-free loop can only be paused at
+     the entry checker: evictions attempted mid-loop exhaust the drain
+     budget. Such a failure must not lose the job — it keeps running on
+     its Xeon slot and the eviction is retried at a later quantum — and
+     must be counted as a retry, not a lost eviction. *)
+  let callfree =
+    let open Dapper_clite.Cl in
+    let m = create "callfree" in
+    Dapper_clite.Cstd.add m;
+    func m "main" [] (fun b ->
+        decl b "acc" (i 0);
+        for_ b "k" (i 0) (i 30_000) (fun b ->
+            set b "acc" (add (v "acc") (band (v "k") (i 7))));
+        ret b (rem_ (v "acc") (i 97)));
+    Dapper_codegen.Link.compile ~app:"callfree" (finish m)
+  in
+  let st =
+    Fleet.run { fleet_config with Fleet.f_pause_budget = 50_000 } [ callfree ]
+  in
+  check Alcotest.bool "transient pause failures counted as retries" true
+    (st.Fleet.f_eviction_retries > 0);
+  check Alcotest.bool "retried jobs are not lost" true (st.Fleet.f_jobs_done > 0);
+  (* with a generous budget the same fleet never needs to retry *)
+  let easy = Fleet.run fleet_config (fleet_jobs ()) in
+  check Alcotest.int "pausable jobs never retry" 0 easy.Fleet.f_eviction_retries
+
 let suites =
   [ ( "cluster",
       [ Alcotest.test_case "baseline sane" `Quick test_baseline_sane;
@@ -99,4 +126,6 @@ let suites =
         Alcotest.test_case "fleet: real evictions" `Slow test_fleet_eviction_happens;
         Alcotest.test_case "fleet: eviction beats baseline" `Slow
           test_fleet_eviction_beats_baseline;
-        Alcotest.test_case "fleet: edge configurations" `Quick test_fleet_edge_configs ] ) ]
+        Alcotest.test_case "fleet: edge configurations" `Quick test_fleet_edge_configs;
+        Alcotest.test_case "fleet: transient eviction failures retried" `Slow
+          test_fleet_eviction_retries ] ) ]

@@ -4,6 +4,7 @@ open Dapper
 module Link = Dapper_codegen.Link
 
 let check = Alcotest.check
+let ok = Dapper_util.Dapper_error.ok_exn
 
 let paused_process () =
   let c = Registry_helpers.compute () in
@@ -20,16 +21,16 @@ let test_dump_requires_quiescence () =
   ignore (Process.run p ~max_instrs:10_000);
   check Alcotest.bool "dump rejects running process" true
     (match Dump.dump p with
-     | exception Dump.Dump_error _ -> true
+     | Error (Dapper_util.Dapper_error.Dump_failed _) -> true
      | _ -> false)
 
 let test_dump_stats () =
   let _, p = paused_process () in
-  let image = Dump.dump p in
+  let image = ok (Dump.dump p) in
   let stats = Dump.stats_of image in
   check Alcotest.bool "pages dumped" true (stats.Dump.pages_dumped > 0);
   check Alcotest.int "nothing lazy in vanilla mode" 0 stats.Dump.pages_lazy;
-  let lazy_image = Dump.dump ~lazy_pages:true p in
+  let lazy_image = ok (Dump.dump ~lazy_pages:true p) in
   let lstats = Dump.stats_of lazy_image in
   check Alcotest.bool "lazy leaves pages behind" true (lstats.Dump.pages_lazy > 0);
   check Alcotest.bool "lazy dumps fewer" true (lstats.Dump.pages_dumped < stats.Dump.pages_dumped);
@@ -37,7 +38,7 @@ let test_dump_stats () =
 
 let test_image_read_write_u64 () =
   let _, p = paused_process () in
-  let image = Dump.dump p in
+  let image = ok (Dump.dump p) in
   (* find a dumped data page and poke it *)
   let e =
     List.find (fun (e : Images.pagemap_entry) -> e.pm_in_dump) image.Images.is_pagemap
@@ -51,7 +52,7 @@ let test_image_read_write_u64 () =
 
 let test_image_file_errors () =
   let _, p = paused_process () in
-  let image = Dump.dump p in
+  let image = ok (Dump.dump p) in
   let files = Images.to_files image in
   (* missing file *)
   check Alcotest.bool "missing pagemap" true
@@ -73,21 +74,22 @@ let test_image_file_errors () =
 
 let test_restore_rejects_wrong_app () =
   let _, p = paused_process () in
-  let image = Dump.dump p in
+  let image = ok (Dump.dump p) in
   let other = Registry_helpers.other_app () in
   check Alcotest.bool "wrong app rejected" true
     (match Restore.restore image other.Link.cp_x86 with
-     | exception Restore.Restore_error _ -> true
+     | Error (Dapper_util.Dapper_error.Restore_failed _) -> true
      | _ -> false)
 
 let test_lazy_restore_without_server_faults () =
   let _, p = paused_process () in
-  let image = Dump.dump ~lazy_pages:true p in
+  let image = ok (Dump.dump ~lazy_pages:true p) in
   (* no page source: the first touch of a lazy page (possibly the flag
      clear during restore itself) must fault *)
   match Restore.restore image p.Process.binary with
   | exception Memory.Segfault _ -> ()
-  | q ->
+  | Error e -> Alcotest.fail (Dapper_util.Dapper_error.to_string e)
+  | Ok q ->
     (match Process.run_to_completion q ~fuel:10_000_000 with
      | Process.Crashed _ -> ()
      | _ -> Alcotest.fail "expected a fault without a page server")
@@ -102,8 +104,8 @@ let test_checkpoint_restore_preserves_everything () =
   (* identity: dump + restore on the same binary continues exactly *)
   let c, p = paused_process () in
   let out_before = Process.stdout_contents p in
-  let image = Dump.dump p in
-  let q = Restore.restore image c.Link.cp_x86 in
+  let image = ok (Dump.dump p) in
+  let q = ok (Restore.restore image c.Link.cp_x86) in
   Monitor.resume p;
   (match (Process.run_to_completion p ~fuel:50_000_000,
           Process.run_to_completion q ~fuel:50_000_000) with

@@ -8,6 +8,7 @@ module Link = Dapper_codegen.Link
 module Netlink = Dapper_net.Link
 
 let check = Alcotest.check
+let ok = Dapper_util.Dapper_error.ok_exn
 
 (* A workload with rich mixed state: stack arrays, pointers into the
    caller's frame, floats, TLS, nested calls, periodic output. *)
@@ -176,10 +177,10 @@ let test_restore_without_rewrite_fails () =
   (match Monitor.request_pause p ~budget:10_000_000 with
    | Error e -> Alcotest.fail (Monitor.error_to_string e)
    | Ok _ -> ());
-  let image = Dapper_criu.Dump.dump p in
+  let image = ok (Dapper_criu.Dump.dump p) in
   check Alcotest.bool "arch mismatch rejected" true
     (match Dapper_criu.Restore.restore image compiled.Link.cp_arm with
-     | exception Dapper_criu.Restore.Restore_error _ -> true
+     | Error (Dapper_util.Dapper_error.Restore_failed _) -> true
      | _ -> false)
 
 let test_pause_cancel_resume () =
@@ -218,7 +219,7 @@ let test_crit_roundtrip_real_dump () =
   (match Monitor.request_pause p ~budget:10_000_000 with
    | Error e -> Alcotest.fail (Monitor.error_to_string e)
    | Ok _ -> ());
-  let image = Dapper_criu.Dump.dump p in
+  let image = ok (Dapper_criu.Dump.dump p) in
   (* files <-> image_set roundtrip *)
   let files = Dapper_criu.Images.to_files image in
   let back = Dapper_criu.Images.of_files files in
@@ -270,10 +271,10 @@ let test_live_stack_reshuffle () =
    | Error e -> Alcotest.fail (Monitor.error_to_string e)
    | Ok _ -> ());
   let out_before = Process.stdout_contents p in
-  let image = Dapper_criu.Dump.dump p in
+  let image = ok (Dapper_criu.Dump.dump p) in
   let shuffled, _ = Shuffle.shuffle_binary (Dapper_util.Rng.create 7L) bin in
-  let image', _ = Rewrite.rewrite image ~src:bin ~dst:shuffled in
-  let p' = Dapper_criu.Restore.restore image' shuffled in
+  let image', _ = ok (Rewrite.rewrite image ~src:bin ~dst:shuffled) in
+  let p' = ok (Dapper_criu.Restore.restore image' shuffled) in
   match Process.run_to_completion p' ~fuel with
   | Process.Exited_run code' ->
     check Alcotest.bool "reshuffled exit equal" true (Int64.equal code code');

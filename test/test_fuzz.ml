@@ -133,12 +133,13 @@ let test_fuzz_migration () =
          (match Dapper.Monitor.request_pause p ~budget:10_000_000 with
           | Error _ -> () (* program too short to pause; fine *)
           | Ok _ ->
-            let image = Dapper_criu.Dump.dump p in
+            let ok = Dapper_util.Dapper_error.ok_exn in
+            let image = ok (Dapper_criu.Dump.dump p) in
             let image', _ =
-              Dapper.Rewrite.rewrite image ~src:compiled.Link.cp_x86
-                ~dst:compiled.Link.cp_arm
+              ok (Dapper.Rewrite.rewrite image ~src:compiled.Link.cp_x86
+                    ~dst:compiled.Link.cp_arm)
             in
-            let q = Dapper_criu.Restore.restore image' compiled.Link.cp_arm in
+            let q = ok (Dapper_criu.Restore.restore image' compiled.Link.cp_arm) in
             (match Process.run_to_completion q ~fuel:5_000_000 with
              | Process.Exited_run v ->
                check Alcotest.bool (Printf.sprintf "seed %d migrated" seed) true

@@ -254,7 +254,7 @@ let pause_and_dump p =
   (match Monitor.request_pause p ~budget:30_000_000 with
    | Ok _ -> ()
    | Error e -> Alcotest.fail (Monitor.error_to_string e));
-  Dapper_criu.Dump.dump p
+  Dapper_util.Dapper_error.ok_exn (Dapper_criu.Dump.dump p)
 
 let migrate_once c =
   (* Reset the process-global caches so both migrations start cold —
@@ -265,7 +265,9 @@ let migrate_once c =
   let p = Process.load c.Link.cp_x86 in
   ignore (Process.run p ~max_instrs:120_000);
   let image = pause_and_dump p in
-  let image', stats = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
+  let image', stats =
+    Dapper_util.Dapper_error.ok_exn (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm)
+  in
   (Dapper_criu.Images.to_files image', stats)
 
 let test_migration_deterministic () =

@@ -17,5 +17,6 @@ let () =
      @ Test_parse.suites
      @ Test_fuzz.suites
      @ Test_net.suites
+     @ Test_session.suites
      @ Test_stackmap_invariants.suites
      @ Test_indexes.suites)

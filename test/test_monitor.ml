@@ -5,6 +5,7 @@ open Cl
 module Link = Dapper_codegen.Link
 
 let check = Alcotest.check
+let ok = Dapper_util.Dapper_error.ok_exn
 
 (* A program whose main sits in a long call-free loop: the paper's
    function-boundary equivalence points cannot interrupt it. *)
@@ -23,7 +24,7 @@ let test_drain_budget_exhausted () =
   let p = Process.load c.Link.cp_x86 in
   ignore (Process.run p ~max_instrs:10_000);
   match Monitor.request_pause p ~budget:200_000 with
-  | Error Monitor.Drain_budget_exhausted -> ()
+  | Error Dapper_util.Dapper_error.Pause_budget_exhausted -> ()
   | Error e -> Alcotest.fail (Monitor.error_to_string e)
   | Ok _ -> Alcotest.fail "call-free loop should not be pausable at function entries"
 
@@ -52,9 +53,9 @@ let test_backedge_migration_correct () =
   (match Monitor.request_pause p ~budget:1_000_000 with
    | Ok _ -> ()
    | Error e -> Alcotest.fail (Monitor.error_to_string e));
-  let image = Dapper_criu.Dump.dump p in
-  let image', _ = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
-  let q = Dapper_criu.Restore.restore image' c.Link.cp_arm in
+  let image = ok (Dapper_criu.Dump.dump p) in
+  let image', _ = ok (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm) in
+  let q = ok (Dapper_criu.Restore.restore image' c.Link.cp_arm) in
   match Process.run_to_completion q ~fuel:100_000_000 with
   | Process.Exited_run v ->
     check Alcotest.bool "exit equal after backedge migration" true (Int64.equal v expected)
@@ -70,7 +71,7 @@ let test_tampered_trap_rejected () =
   th.Process.status <- Process.Trapped;
   th.Process.pc <- Int64.add c.Link.cp_x86.bin_anchors.a_entry 1L;
   match Monitor.request_pause p ~budget:1_000_000 with
-  | Error (Monitor.Not_at_equivalence_point _) -> ()
+  | Error (Dapper_util.Dapper_error.Not_at_equivalence_point _) -> ()
   | Error e -> Alcotest.fail (Monitor.error_to_string e)
   | Ok _ -> Alcotest.fail "tampered trap accepted"
 
@@ -162,9 +163,9 @@ let test_blocked_threads_rolled_back () =
      check Alcotest.bool "main rolled back out of join" true (stats.ps_rolled_back >= 1)
    | Error e -> Alcotest.fail (Monitor.error_to_string e));
   (* and the paused process must still migrate + finish correctly *)
-  let image = Dapper_criu.Dump.dump p in
-  let image', _ = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
-  let q = Dapper_criu.Restore.restore image' c.Link.cp_arm in
+  let image = ok (Dapper_criu.Dump.dump p) in
+  let image', _ = ok (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm) in
+  let q = ok (Dapper_criu.Restore.restore image' c.Link.cp_arm) in
   match Process.run_to_completion q ~fuel:50_000_000 with
   | Process.Exited_run v ->
     check Alcotest.bool "exit equal" true (Int64.equal v expected_code);

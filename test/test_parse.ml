@@ -196,11 +196,12 @@ let test_parsed_program_migrates () =
   (match Dapper.Monitor.request_pause p ~budget:30_000_000 with
    | Ok _ -> ()
    | Error e -> Alcotest.fail (Dapper.Monitor.error_to_string e));
-  let image = Dapper_criu.Dump.dump p in
+  let ok = Dapper_util.Dapper_error.ok_exn in
+  let image = ok (Dapper_criu.Dump.dump p) in
   let image', _ =
-    Dapper.Rewrite.rewrite image ~src:compiled.Link.cp_x86 ~dst:compiled.Link.cp_arm
+    ok (Dapper.Rewrite.rewrite image ~src:compiled.Link.cp_x86 ~dst:compiled.Link.cp_arm)
   in
-  let q = Dapper_criu.Restore.restore image' compiled.Link.cp_arm in
+  let q = ok (Dapper_criu.Restore.restore image' compiled.Link.cp_arm) in
   match Process.run_to_completion q ~fuel:100_000_000 with
   | Process.Exited_run v ->
     check Alcotest.bool "exit equal" true (Int64.equal v expected_code);

@@ -70,7 +70,7 @@ let test_dsu_refuses_active_function () =
   let p = Process.load c1.Link.cp_x86 in
   ignore (Process.run p ~max_instrs:3_000);
   match Dsu.update ~retries:0 p ~old_bin:c1.Link.cp_x86 ~new_bin:c2.Link.cp_x86 with
-  | Error (Dsu.Active_function "main") -> ()
+  | Error (Dapper_util.Dapper_error.Active_function "main") -> ()
   | Error e -> Alcotest.fail (Dsu.error_to_string e)
   | Ok _ -> Alcotest.fail "update of an active function must be refused"
 
@@ -88,7 +88,7 @@ let test_dsu_refuses_layout_change () =
   let p = Process.load c1.Link.cp_x86 in
   ignore (Process.run p ~max_instrs:3_000);
   match Dsu.update p ~old_bin:c1.Link.cp_x86 ~new_bin:c2.Link.cp_x86 with
-  | Error (Dsu.Layout_incompatible _) -> ()
+  | Error (Dapper_util.Dapper_error.Layout_incompatible _) -> ()
   | Error e -> Alcotest.fail (Dsu.error_to_string e)
   | Ok _ -> Alcotest.fail "incompatible layout must be refused"
 

@@ -5,6 +5,7 @@ open Dapper
 module Link = Dapper_codegen.Link
 
 let check = Alcotest.check
+let ok = Dapper_util.Dapper_error.ok_exn
 
 let reference () =
   let c = Registry_helpers.compute () in
@@ -17,7 +18,7 @@ let pause_and_dump p =
   (match Monitor.request_pause p ~budget:30_000_000 with
    | Ok _ -> ()
    | Error e -> Alcotest.fail (Monitor.error_to_string e));
-  Dapper_criu.Dump.dump p
+  ok (Dapper_criu.Dump.dump p)
 
 (* Property: migration is transparent at a *random* point, not just the
    handpicked ones in the integration tests. *)
@@ -33,8 +34,8 @@ let qcheck_migration_any_point =
         Int64.equal v code && String.equal (Process.stdout_contents p) out
       | Process.Progress ->
         let image = pause_and_dump p in
-        let image', _ = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
-        let q = Dapper_criu.Restore.restore image' c.Link.cp_arm in
+        let image', _ = ok (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm) in
+        let q = ok (Dapper_criu.Restore.restore image' c.Link.cp_arm) in
         (match Process.run_to_completion q ~fuel:50_000_000 with
          | Process.Exited_run v ->
            Int64.equal v code
@@ -49,12 +50,12 @@ let test_chained_migration () =
   let p = Process.load c.Link.cp_x86 in
   ignore (Process.run p ~max_instrs:120_000);
   let image = pause_and_dump p in
-  let image_arm, _ = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
-  let q = Dapper_criu.Restore.restore image_arm c.Link.cp_arm in
+  let image_arm, _ = ok (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm) in
+  let q = ok (Dapper_criu.Restore.restore image_arm c.Link.cp_arm) in
   ignore (Process.run q ~max_instrs:120_000);
   let image2 = pause_and_dump q in
-  let image_x86, _ = Rewrite.rewrite image2 ~src:c.Link.cp_arm ~dst:c.Link.cp_x86 in
-  let r = Dapper_criu.Restore.restore image_x86 c.Link.cp_x86 in
+  let image_x86, _ = ok (Rewrite.rewrite image2 ~src:c.Link.cp_arm ~dst:c.Link.cp_x86) in
+  let r = ok (Dapper_criu.Restore.restore image_x86 c.Link.cp_x86) in
   match Process.run_to_completion r ~fuel:50_000_000 with
   | Process.Exited_run v ->
     check Alcotest.bool "exit equal" true (Int64.equal v code);
@@ -70,11 +71,11 @@ let test_rewrite_rejects_mismatched_binaries () =
   let image = pause_and_dump p in
   check Alcotest.bool "wrong src arch" true
     (match Rewrite.rewrite image ~src:c.Link.cp_arm ~dst:c.Link.cp_x86 with
-     | exception Rewrite.Rewrite_error _ -> true
+     | Error (Dapper_util.Dapper_error.Recode_failed _) -> true
      | _ -> false);
   check Alcotest.bool "wrong app" true
     (match Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:other.Link.cp_arm with
-     | exception Rewrite.Rewrite_error _ -> true
+     | Error (Dapper_util.Dapper_error.Recode_failed _) -> true
      | _ -> false)
 
 (* Tamper with the source stack maps: the rewriter must fail loudly, not
@@ -121,7 +122,7 @@ let test_tampered_stackmaps_detected () =
   let image = pause_and_dump p in
   check Alcotest.bool "missing live values detected" true
     (match Rewrite.rewrite image ~src:tampered ~dst:ct.Link.cp_arm with
-     | exception Rewrite.Rewrite_error _ -> true
+     | Error (Dapper_util.Dapper_error.Recode_failed _) -> true
      | _ -> false)
 
 let test_corrupt_return_address_detected () =
@@ -137,7 +138,7 @@ let test_corrupt_return_address_detected () =
   in
   check Alcotest.bool "unwind fails on corrupt stack" true
     (match Rewrite.rewrite image' ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm with
-     | exception (Rewrite.Rewrite_error _ | Unwind.Unwind_error _) -> true
+     | Error (Dapper_util.Dapper_error.Recode_failed _ | Dapper_util.Dapper_error.Unwind_failed _) -> true
      | _ -> false)
 
 let test_rewrite_preserves_heap_and_globals () =
@@ -145,7 +146,7 @@ let test_rewrite_preserves_heap_and_globals () =
   let p = Process.load c.Link.cp_x86 in
   ignore (Process.run p ~max_instrs:200_000);
   let image = pause_and_dump p in
-  let image', _ = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
+  let image', _ = ok (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm) in
   (* every dumped non-stack, non-code page must be byte-identical *)
   let is_stack pn =
     let a = Layout.addr_of_page pn in
@@ -175,7 +176,7 @@ let test_rewrite_stats_sensible () =
   let p = Process.load c.Link.cp_x86 in
   ignore (Process.run p ~max_instrs:200_000);
   let image = pause_and_dump p in
-  let _, st = Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm in
+  let _, st = ok (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm) in
   check Alcotest.bool "threads" true (st.Rewrite.st_threads = 1);
   check Alcotest.bool "frames >= 1" true (st.Rewrite.st_frames >= 1);
   check Alcotest.bool "values >= frames" true (st.Rewrite.st_values >= st.Rewrite.st_frames);

@@ -1,0 +1,217 @@
+open Dapper_machine
+open Dapper_net
+open Dapper
+module Link = Dapper_codegen.Link
+module Netlink = Dapper_net.Link
+module Derr = Dapper_util.Dapper_error
+
+let check = Alcotest.check
+
+let config_for c =
+  Session.default_config ~src_bin:c.Link.cp_x86 ~dst_bin:c.Link.cp_arm
+
+(* A program whose main sits in a long call-free loop: no equivalence
+   point is ever reached, so any pause budget is exhausted. *)
+let callfree () =
+  let open Dapper_clite.Cl in
+  let m = create "callfree" in
+  Dapper_clite.Cstd.add m;
+  func m "main" [] (fun b ->
+      decl b "acc" (i 0);
+      for_ b "k" (i 0) (i 3_000_000) (fun b ->
+          set b "acc" (add (v "acc") (band (v "k") (i 7))));
+      ret b (rem_ (v "acc") (i 97)));
+  Link.compile ~app:"callfree" (finish m)
+
+let test_run_happy_path () =
+  let c = Registry_helpers.compute () in
+  let expected_code, expected_out =
+    let p = Process.load c.Link.cp_arm in
+    match Process.run_to_completion p ~fuel:50_000_000 with
+    | Process.Exited_run v -> (v, Process.stdout_contents p)
+    | _ -> Alcotest.fail "native run failed"
+  in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:120_000);
+  match Session.run (config_for c) p with
+  | Error e -> Alcotest.fail (Derr.to_string e)
+  | Ok st ->
+    let stages = List.map (fun r -> r.Session.sr_stage) (Session.stage_log st) in
+    check
+      Alcotest.(list string)
+      "all five stages in order"
+      [ "pause"; "dump"; "recode"; "transfer"; "restore" ]
+      (List.map Derr.stage_name stages);
+    List.iter
+      (fun r ->
+        check Alcotest.bool
+          (Derr.stage_name r.Session.sr_stage ^ " cost non-negative")
+          true (r.Session.sr_ms >= 0.0))
+      (Session.stage_log st);
+    let t = Session.times st in
+    check Alcotest.bool "total is the sum of stage records" true
+      (abs_float
+         (Session.total_ms t
+          -. List.fold_left (fun a r -> a +. r.Session.sr_ms) 0.0 (Session.stage_log st))
+       < 1e-9);
+    let r = Session.finish st in
+    (match Process.run_to_completion r.Session.r_process ~fuel:50_000_000 with
+     | Process.Exited_run v ->
+       check Alcotest.bool "exit equal" true (Int64.equal v expected_code);
+       check Alcotest.string "out equal" expected_out
+         (Process.stdout_contents p ^ Process.stdout_contents r.Session.r_process)
+     | _ -> Alcotest.fail "migrated run did not finish")
+
+let test_pause_budget_exhaustion_resumes_source () =
+  let c = callfree () in
+  let expected =
+    let p = Process.load c.Link.cp_x86 in
+    match Process.run_to_completion p ~fuel:100_000_000 with
+    | Process.Exited_run v -> v
+    | _ -> Alcotest.fail "native callfree failed"
+  in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:10_000);
+  let cfg = { (config_for c) with Session.cfg_pause_budget = 200_000 } in
+  (match Session.run cfg p with
+   | Error Derr.Pause_budget_exhausted -> ()
+   | Error e -> Alcotest.fail (Derr.to_string e)
+   | Ok _ -> Alcotest.fail "call-free loop should not be pausable");
+  check Alcotest.bool "error is transient" true
+    (Derr.retriable Derr.Pause_budget_exhausted);
+  (* the failed session must leave the source runnable, not parked *)
+  check Alcotest.bool "source resumed after failure" true
+    (not (Process.all_quiescent p));
+  match Process.run_to_completion p ~fuel:100_000_000 with
+  | Process.Exited_run v ->
+    check Alcotest.bool "source completes correctly" true (Int64.equal v expected)
+  | _ -> Alcotest.fail "source did not finish after failed session"
+
+let test_stage_failure_resumes_source () =
+  (* a recode against the wrong application fails mid-pipeline; the
+     source must be resumed, not left stuck at its equivalence points *)
+  let c = Registry_helpers.compute () in
+  let other = Registry_helpers.other_app () in
+  let expected_code, expected_out =
+    let p = Process.load c.Link.cp_x86 in
+    match Process.run_to_completion p ~fuel:50_000_000 with
+    | Process.Exited_run v -> (v, Process.stdout_contents p)
+    | _ -> Alcotest.fail "native run failed"
+  in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:120_000);
+  let cfg =
+    Session.default_config ~src_bin:c.Link.cp_x86 ~dst_bin:other.Link.cp_arm
+  in
+  (match Session.run cfg p with
+   | Error (Derr.Recode_failed _) -> ()
+   | Error e -> Alcotest.fail ("unexpected error: " ^ Derr.to_string e)
+   | Ok _ -> Alcotest.fail "recode against the wrong app must fail");
+  check Alcotest.bool "source resumed after recode failure" true
+    (not (Process.all_quiescent p));
+  match Process.run_to_completion p ~fuel:50_000_000 with
+  | Process.Exited_run v ->
+    check Alcotest.bool "exit preserved" true (Int64.equal v expected_code);
+    check Alcotest.string "output preserved" expected_out (Process.stdout_contents p)
+  | _ -> Alcotest.fail "source did not finish after failed session"
+
+let test_stepwise_typed_pipeline () =
+  let c = Registry_helpers.compute () in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:120_000);
+  let s = Session.start (config_for c) p in
+  check Alcotest.int "fresh session has an empty log" 0
+    (List.length (Session.stage_log s));
+  let unwrap = function Ok v -> v | Error e -> Alcotest.fail (Derr.to_string e) in
+  let s = unwrap (Session.pause s) in
+  check Alcotest.bool "paused source is quiescent" true (Process.all_quiescent p);
+  let s = unwrap (Session.dump s) in
+  let s = unwrap (Session.recode s) in
+  check Alcotest.int "three stages logged" 3 (List.length (Session.stage_log s));
+  let s = unwrap (Session.transfer s) in
+  let s = unwrap (Session.restore s) in
+  let t = Session.times s in
+  check Alcotest.bool "every phase has a positive cost" true
+    (t.Session.t_checkpoint_ms > 0.0 && t.Session.t_recode_ms > 0.0
+     && t.Session.t_scp_ms > 0.0 && t.Session.t_restore_ms > 0.0);
+  (* the stepwise drive and the packaged outcome agree *)
+  let r = Session.finish s in
+  check Alcotest.bool "finish reuses the log" true
+    (Session.total_ms r.Session.r_times = Session.total_ms t)
+
+let test_retry_combinator () =
+  let calls = ref 0 and breathers = ref 0 in
+  let flaky () =
+    incr calls;
+    if !calls < 3 then Error Derr.Pause_budget_exhausted else Ok !calls
+  in
+  (match
+     Session.retry ~attempts:5 ~before_retry:(fun () -> incr breathers) flaky
+   with
+   | Ok 3 -> ()
+   | Ok n -> Alcotest.fail (Printf.sprintf "expected success on attempt 3, got %d" n)
+   | Error e -> Alcotest.fail (Derr.to_string e));
+  check Alcotest.int "two breathers between three attempts" 2 !breathers;
+  (* a structural error is not retried *)
+  let calls = ref 0 in
+  let broken () =
+    incr calls;
+    Error (Derr.Dump_failed "broken")
+  in
+  (match Session.retry ~attempts:5 broken with
+   | Error (Derr.Dump_failed _) -> ()
+   | _ -> Alcotest.fail "structural error must not be retried");
+  check Alcotest.int "single attempt for structural error" 1 !calls;
+  (* the budget is exhausted eventually *)
+  let tired () = Error Derr.Pause_budget_exhausted in
+  match Session.retry ~attempts:3 tired with
+  | Error Derr.Pause_budget_exhausted -> ()
+  | _ -> Alcotest.fail "exhausted retries must surface the last error"
+
+let test_transport_costs () =
+  let scp = Transport.scp Netlink.infiniband in
+  check Alcotest.bool "scp is eager" true (not (Transport.is_lazy scp));
+  let lazy_t = Transport.page_server Netlink.infiniband in
+  check Alcotest.bool "page server is lazy" true (Transport.is_lazy lazy_t);
+  let bytes = 1 lsl 20 in
+  check Alcotest.bool "transfer cost matches the raw link" true
+    (Transport.transfer_ns scp bytes = Netlink.transfer_ns Netlink.infiniband bytes);
+  let slow = Transport.degraded ~factor:3.0 scp in
+  check Alcotest.bool "degraded transport is slower" true
+    (Transport.transfer_ns slow bytes = 3.0 *. Transport.transfer_ns scp bytes);
+  check Alcotest.bool "degradation composes" true
+    (Transport.transfer_ns (Transport.degraded ~factor:2.0 slow) bytes
+     = 6.0 *. Transport.transfer_ns scp bytes);
+  check Alcotest.bool "a speedup is not a degradation" true
+    (match Transport.degraded ~factor:0.5 scp with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  check Alcotest.bool "eager transports cannot serve pages" true
+    (match
+       Transport.serve_pages scp (Transport.fresh_page_stats ()) ~page_bytes:4096
+         (fun _ -> None)
+     with
+     | exception Invalid_argument _ -> true
+     | source -> ignore (source 0); false);
+  (* page-server accounting: every served page is counted and billed *)
+  let stats = Transport.fresh_page_stats () in
+  let source =
+    Transport.serve_pages lazy_t stats ~page_bytes:4096 (fun pn ->
+        if pn mod 2 = 0 then Some (Bytes.create 4096) else None)
+  in
+  ignore (source 0);
+  ignore (source 1);
+  ignore (source 2);
+  check Alcotest.int "only present pages counted" 2 stats.Transport.srv_pages;
+  check Alcotest.bool "serving time accumulated" true (stats.Transport.srv_ns > 0.0)
+
+let suites =
+  [ ( "session",
+      [ Alcotest.test_case "run: happy path + stage log" `Quick test_run_happy_path;
+        Alcotest.test_case "pause budget exhaustion resumes source" `Quick
+          test_pause_budget_exhaustion_resumes_source;
+        Alcotest.test_case "stage failure resumes source" `Quick
+          test_stage_failure_resumes_source;
+        Alcotest.test_case "stepwise typed pipeline" `Quick test_stepwise_typed_pipeline;
+        Alcotest.test_case "retry combinator" `Quick test_retry_combinator;
+        Alcotest.test_case "transport costs + accounting" `Quick test_transport_costs ] ) ]
