@@ -1,0 +1,180 @@
+(* verify_tool: the conformance harness CLI - static stack-map
+   verification, differential migration oracle runs over the example and
+   generated corpora, and the mutation (corrupted stack map) checks.
+
+     verify static            check every registry + example binary
+     verify mutations         corrupted stack maps must be rejected
+     verify oracle NAME       oracle sweep for one program
+     verify corpus            full every-point sweep, both directions
+     verify fuzz              seeded generated corpus, both directions
+     verify conformance       everything above; non-zero exit on failure *)
+
+open Cmdliner
+open Dapper_isa
+open Dapper_workloads
+module Link = Dapper_codegen.Link
+module Static = Dapper_verify.Static
+module Oracle = Dapper_verify.Oracle
+module Gen = Dapper_verify.Gen
+module Corpus = Dapper_verify.Corpus
+
+let directions = [ (Arch.X86_64, Arch.Aarch64); (Arch.Aarch64, Arch.X86_64) ]
+
+let seed_programs () =
+  List.map (fun sp -> (sp.Registry.sp_name, Registry.compiled sp)) (Registry.all ())
+
+(* ----- static verification ----- *)
+
+let static_one (name, c) =
+  match Static.check_compiled c with
+  | [] ->
+    Printf.printf "static %-16s ok\n%!" name;
+    true
+  | viols ->
+    List.iter
+      (fun v -> Printf.printf "static %-16s VIOLATION %s\n%!" name (Static.violation_to_string v))
+      viols;
+    false
+
+let run_static () =
+  let ok =
+    List.for_all static_one (seed_programs () @ Corpus.all ())
+  in
+  if not ok then prerr_endline "static verification FAILED";
+  ok
+
+(* ----- mutation checks ----- *)
+
+let run_mutations () =
+  let base = Corpus.all () @ [ ("nginx", Registry.compiled (Registry.find "nginx")) ] in
+  (* corrupt the richest example + one registry binary *)
+  let targets = [ List.assoc "mini-sieve" base; List.assoc "nginx" base ] in
+  let ok = ref true in
+  let total = ref 0 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (name, corrupted) ->
+          incr total;
+          match Static.run corrupted with
+          | Error (Dapper_util.Dapper_error.Verify_failed msg) ->
+            Printf.printf "mutation %-20s rejected: %s\n%!" name msg
+          | Ok () ->
+            ok := false;
+            Printf.printf "mutation %-20s NOT REJECTED\n%!" name
+          | Error e ->
+            ok := false;
+            Printf.printf "mutation %-20s wrong error: %s\n%!" name
+              (Dapper_util.Dapper_error.to_string e))
+        (Static.corruptions c))
+    targets;
+  Printf.printf "mutations: %d corrupted variants checked\n%!" !total;
+  if !total < 5 then begin
+    ok := false;
+    prerr_endline "mutation corpus too small (< 5 corruptions)"
+  end;
+  !ok
+
+(* ----- oracle runs ----- *)
+
+let oracle_one ?max_points (name, c) =
+  List.for_all
+    (fun (src, dst) ->
+      match Oracle.run ?max_points ~src ~dst c with
+      | Ok r ->
+        Printf.printf "oracle %-16s %s\n%!" name (Oracle.report_to_string r);
+        true
+      | Error f ->
+        Printf.printf "oracle %-16s FAILED %s\n%!" name (Oracle.failure_to_string f);
+        false)
+    directions
+
+let resolve name =
+  match Corpus.find name with
+  | Some c -> (name, c)
+  | None ->
+    (match int_of_string_opt (String.sub name 3 (String.length name - 3)) with
+     | Some seed when String.length name > 3 && String.sub name 0 3 = "gen" ->
+       (name, Gen.compile seed)
+     | _ | (exception Invalid_argument _) ->
+       (name, Registry.compiled (Registry.find name)))
+
+let run_oracle name max_points =
+  if oracle_one ?max_points (resolve name) then 0 else 1
+
+let run_corpus () = List.for_all (fun p -> oracle_one p) (Corpus.all ())
+
+let run_fuzz count max_points =
+  let failed = ref 0 in
+  for seed = 1 to count do
+    let c = Gen.compile seed in
+    List.iter
+      (fun (src, dst) ->
+        match Oracle.run ~max_points ~src ~dst c with
+        | Ok _ -> ()
+        | Error f ->
+          incr failed;
+          Printf.printf "fuzz seed %d FAILED %s\n%!" seed (Oracle.failure_to_string f))
+      directions
+  done;
+  Printf.printf "fuzz: %d seeds x %d directions, %d failures\n%!" count
+    (List.length directions) !failed;
+  !failed = 0
+
+(* ----- the full gate ----- *)
+
+let run_conformance count max_points =
+  let static_ok = run_static () in
+  let mutations_ok = run_mutations () in
+  let corpus_ok = run_corpus () in
+  let fuzz_ok = run_fuzz count max_points in
+  let ok = static_ok && mutations_ok && corpus_ok && fuzz_ok in
+  Printf.printf "conformance: static %s, mutations %s, corpus %s, fuzz %s\n%!"
+    (if static_ok then "ok" else "FAILED")
+    (if mutations_ok then "ok" else "FAILED")
+    (if corpus_ok then "ok" else "FAILED")
+    (if fuzz_ok then "ok" else "FAILED");
+  if ok then 0 else 1
+
+(* ----- command line ----- *)
+
+let count_arg =
+  Arg.(value & opt int 200 & info [ "count" ] ~docv:"N"
+         ~doc:"Number of generated seeds to sweep.")
+
+let max_points_arg default =
+  Arg.(value & opt int default & info [ "max-points" ] ~docv:"K"
+         ~doc:"Cap on dynamic equivalence points walked per program.")
+
+let opt_max_points_arg =
+  Arg.(value & opt (some int) None & info [ "max-points" ] ~docv:"K"
+         ~doc:"Cap on dynamic equivalence points walked per program.")
+
+let name_arg =
+  Arg.(value & pos 0 string "mini-quickstart" & info [] ~docv:"NAME"
+         ~doc:"Program: an example-corpus name, gen<SEED>, or a registry benchmark.")
+
+let bool_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> if f () then 0 else 1) $ const ())
+
+let cmd =
+  Cmd.group
+    (Cmd.info "verify" ~doc:"Dapper cross-ISA conformance harness")
+    [ bool_cmd "static" "Statically verify the stack maps of every seed binary" run_static;
+      bool_cmd "mutations" "Check that corrupted stack maps are rejected" run_mutations;
+      Cmd.v
+        (Cmd.info "oracle" ~doc:"Run the migration oracle for one program, both directions")
+        Term.(const run_oracle $ name_arg $ opt_max_points_arg);
+      bool_cmd "corpus"
+        "Oracle sweep at every equivalence point of the example corpus, both directions"
+        run_corpus;
+      Cmd.v
+        (Cmd.info "fuzz" ~doc:"Oracle over the seeded generated corpus, both directions")
+        Term.(const (fun n k -> if run_fuzz n k then 0 else 1)
+              $ count_arg $ max_points_arg 3);
+      Cmd.v
+        (Cmd.info "conformance"
+           ~doc:"The full gate: static + mutations + example sweep + generated corpus")
+        Term.(const run_conformance $ count_arg $ max_points_arg 3) ]
+
+let () = exit (Cmd.eval' cmd)

@@ -68,21 +68,42 @@ let build maps =
   { ix_by_name; ix_by_addr }
 
 (* ----- per-maps memoization -----
-   Keyed by physical identity of the (immutable) map list, so every
-   consumer of the same binary shares one index, and an index is built
-   at most once per binary. Bounded MRU list: reshuffling creates a new
-   map list per epoch, and stale entries must not pin binaries forever. *)
+   Keyed by physical identity of the (immutable) map list with a
+   content-digest fallback, so every consumer of the same binary shares
+   one index and an index is built at most once per distinct stack-map
+   content. Physical identity alone is not a sound cache key across
+   regenerated binaries: tests (and reshuffling) rebuild structurally
+   different map lists at addresses the allocator may reuse, and two
+   different lists that are byte-for-byte equal (a recompiled app)
+   should share one index rather than build two. Hashing the serialized
+   maps makes the key follow the content, so a regenerated or mutated
+   binary can never hit a stale index. Bounded MRU list: reshuffling
+   creates a new map list per epoch, and stale entries must not pin
+   binaries forever. *)
 
-let cache : (Stackmap.func_map list * t) list ref = ref []
+type cache_entry = {
+  ce_maps : Stackmap.func_map list;  (* fast path: physical identity *)
+  ce_key : Digest.t;                 (* slow path: content digest *)
+  ce_ix : t;
+}
+
+let cache : cache_entry list ref = ref []
 let cache_capacity = 32
 
+let content_key maps = Digest.string (Stackmap.serialize maps)
+
 let get maps =
-  match List.find_opt (fun (m, _) -> m == maps) !cache with
-  | Some (_, ix) -> ix
+  match List.find_opt (fun e -> e.ce_maps == maps) !cache with
+  | Some e -> e.ce_ix
   | None ->
-    let ix = build maps in
+    let key = content_key maps in
+    let ix =
+      match List.find_opt (fun e -> Digest.equal e.ce_key key) !cache with
+      | Some e -> e.ce_ix
+      | None -> build maps
+    in
     let kept = List.filteri (fun k _ -> k < cache_capacity - 1) !cache in
-    cache := (maps, ix) :: kept;
+    cache := { ce_maps = maps; ce_key = key; ce_ix = ix } :: kept;
     ix
 
 let entry t name =

@@ -26,7 +26,10 @@ type t
 val build : Stackmap.func_map list -> t
 
 (** Memoized [build]: returns the cached index when [maps] was indexed
-    before (physical identity, bounded MRU cache). *)
+    before. Keyed by physical identity with a content-digest (hash of
+    the serialized maps) fallback in a bounded MRU cache, so regenerated
+    binaries with identical stack maps share one index while changed
+    content can never alias a stale one. *)
 val get : Stackmap.func_map list -> t
 
 (** Indexed equivalents of the {!Stackmap} linear lookups. *)

@@ -261,7 +261,6 @@ let rewrite_exn (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
   let rewrite_thread (ts : Unwind.thread_stack) (dframes : dst_frame list) =
     let tid = ts.Unwind.ts_tid in
     let ctx = Array.make 33 0L in
-    let deferred = ref [] in
     let caller_fp = ref 0L in
     let ret_addr =
       ref
@@ -307,31 +306,31 @@ let rewrite_exn (image : Images.image_set) ~(src : Binary.t) ~(dst : Binary.t) =
             in
             if String.length bytes <> lv.lv_size then
               fail "%s: live value size mismatch" df.df_fm.fm_name;
+            (* Stack pointers are translated eagerly: the interval map was
+               built from the completed frame placement of every thread, and
+               [ctx] is reused frame to frame — a caller's promoted pointer
+               must be translated before the callee's save-area write copies
+               it, and before the callee reassigns the register. *)
             match lv.lv_loc with
             | Stackmap.Reg r ->
               let value = Dapper_util.Bytebuf.get_i64 bytes 0 in
-              if lv.lv_ty = Stackmap.Lv_ptr && in_stack_region value then
-                deferred := `Reg (ctx, r, value) :: !deferred;
-              ctx.(r) <- value
+              ctx.(r) <-
+                (if lv.lv_ty = Stackmap.Lv_ptr && in_stack_region value then
+                   translate value
+                 else value)
             | Stackmap.Frame off ->
               let base = Int64.add fp (Int64.of_int off) in
               if lv.lv_ty = Stackmap.Lv_ptr then
                 for e = 0 to (lv.lv_size / 8) - 1 do
                   let value = Dapper_util.Bytebuf.get_i64 bytes (e * 8) in
                   let a = Int64.add base (Int64.of_int (e * 8)) in
-                  if in_stack_region value then deferred := `Mem (a, value) :: !deferred;
-                  store_write_u64 st a value
+                  store_write_u64 st a
+                    (if in_stack_region value then translate value else value)
                 done
               else store_write_bytes st base bytes)
           df.df_ep.ep_live;
         ret_addr := df.df_ep.ep_resume)
       dframes;
-    (* Pointer translation pass: all destination frames are placed now. *)
-    List.iter
-      (function
-        | `Reg (ctx, r, value) -> ctx.(r) <- translate value
-        | `Mem (a, value) -> store_write_u64 st a (translate value))
-      !deferred;
     let inner =
       match List.rev dframes with
       | inner :: _ -> inner

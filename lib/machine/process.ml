@@ -185,6 +185,87 @@ let vma_kind_of_page t pn =
     end
     else None
 
+(* ----- read-only observable-state snapshot ----- *)
+
+type snapshot = {
+  sn_data : int64;
+  sn_heap : int64;
+  sn_tls : int64;
+  sn_brk : int64;
+  sn_threads : int;
+  sn_stdout : string;
+  sn_exit : int64 option;
+}
+
+(* FNV-1a (64-bit), folded over (page number, page bytes) pairs so the
+   digest is sensitive to which pages are mapped, not just their
+   concatenated contents. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) fnv_prime
+
+let fnv_int h n =
+  let rec go h i = if i = 8 then h else go (fnv_byte h ((n lsr (i * 8)) land 0xff)) (i + 1) in
+  go h 0
+
+let observe t =
+  let flag = t.binary.Binary.bin_anchors.Binary.a_flag in
+  let flag_page = Layout.page_of_addr flag in
+  let flag_off = Layout.page_offset flag in
+  (* The transformation flag is runtime-monitor state, not program state:
+     it is raised on the source during a pause and dropped again by
+     restore, so its 8 bytes are masked out of the data digest. *)
+  let digest_page ~mask_flag h pn page =
+    let h = fnv_int h pn in
+    let n = Bytes.length page in
+    let h = ref h in
+    for idx = 0 to n - 1 do
+      let b =
+        if mask_flag && idx >= flag_off && idx < flag_off + 8 then 0
+        else Char.code (Bytes.unsafe_get page idx)
+      in
+      h := fnv_byte !h b
+    done;
+    !h
+  in
+  let data = ref fnv_offset and heap = ref fnv_offset and tls = ref fnv_offset in
+  Array.iter
+    (fun pn ->
+      let into acc ~mask_flag =
+        (* page_contents never consults the fault handler: observing a
+           process must not fault pages in or perturb fault accounting *)
+        match Memory.page_contents t.mem pn with
+        | Some page -> acc := digest_page ~mask_flag !acc pn page
+        | None -> ()
+      in
+      match vma_kind_of_page t pn with
+      | Some Vma_data -> into data ~mask_flag:(pn = flag_page)
+      | Some Vma_heap -> into heap ~mask_flag:false
+      | Some Vma_tls -> into tls ~mask_flag:false
+      | Some Vma_code | Some (Vma_stack _) | None -> ())
+    (Memory.page_numbers t.mem);
+  { sn_data = !data;
+    sn_heap = !heap;
+    sn_tls = !tls;
+    sn_brk = t.brk;
+    sn_threads = List.length (live_threads t);
+    sn_stdout = Buffer.contents t.stdout_buf;
+    sn_exit = t.exit_code }
+
+let state_equal a b =
+  Int64.equal a.sn_data b.sn_data
+  && Int64.equal a.sn_heap b.sn_heap
+  && Int64.equal a.sn_tls b.sn_tls
+  && Int64.equal a.sn_brk b.sn_brk
+  && a.sn_threads = b.sn_threads
+
+let snapshot_to_string s =
+  Printf.sprintf
+    "data=%016Lx heap=%016Lx tls=%016Lx brk=0x%Lx threads=%d stdout=%dB exit=%s"
+    s.sn_data s.sn_heap s.sn_tls s.sn_brk s.sn_threads
+    (String.length s.sn_stdout)
+    (match s.sn_exit with None -> "-" | Some c -> Int64.to_string c)
+
 (* ----- ptrace-like interface ----- *)
 
 let peek_data t addr = Memory.read_u64 t.mem addr

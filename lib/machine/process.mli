@@ -81,6 +81,35 @@ type vma_kind = Vma_code | Vma_data | Vma_tls | Vma_heap | Vma_stack of int
 
 val vma_kind_of_page : t -> int -> vma_kind option
 
+(** {1 Observable state}
+
+    A read-only digest of everything a migration must preserve, taken
+    without pausing, faulting pages in, or perturbing any accounting —
+    the conformance oracle snapshots both execution twins with this. *)
+
+type snapshot = {
+  sn_data : int64;   (** FNV-1a digest of mapped data pages; the runtime
+                         transformation-flag word is masked out *)
+  sn_heap : int64;   (** digest of mapped heap pages *)
+  sn_tls : int64;    (** digest of mapped TLS pages *)
+  sn_brk : int64;
+  sn_threads : int;  (** live (non-exited) threads *)
+  sn_stdout : string;
+  sn_exit : int64 option;
+}
+
+(** [observe t] digests the current observable state. Only mapped pages
+    are read (via raw page contents, never the fault handler); code and
+    stack pages are excluded because their bytes are ISA-specific. *)
+val observe : t -> snapshot
+
+(** ISA-independent state equivalence: data/heap/TLS digests, brk and
+    live-thread count. Output and exit status are compared separately by
+    the oracle because a migrated twin restarts with empty stdout. *)
+val state_equal : snapshot -> snapshot -> bool
+
+val snapshot_to_string : snapshot -> string
+
 (** ptrace-like control interface. *)
 
 val peek_data : t -> int64 -> int64

@@ -19,6 +19,7 @@ type t =
   | Active_function of string
   | Transfer_failed of string
   | Restore_failed of string
+  | Verify_failed of string
 
 let to_string = function
   | Pause_budget_exhausted -> "drain budget exhausted before all threads quiesced"
@@ -33,12 +34,13 @@ let to_string = function
   | Active_function f -> "function still active on a stack: " ^ f
   | Transfer_failed msg -> "transfer failed: " ^ msg
   | Restore_failed msg -> "restore failed: " ^ msg
+  | Verify_failed msg -> "verification failed: " ^ msg
 
 let stage_of = function
   | Pause_budget_exhausted | Not_at_equivalence_point _ | Process_exited -> Pause
   | Dump_failed _ -> Dump
   | Unwind_failed _ | Recode_failed _ | Shuffle_failed _ | Layout_incompatible _
-  | Active_function _ -> Recode
+  | Active_function _ | Verify_failed _ -> Recode
   | Transfer_failed _ -> Transfer
   | Restore_failed _ -> Restore
 
@@ -46,7 +48,7 @@ let retriable = function
   | Pause_budget_exhausted | Active_function _ -> true
   | Not_at_equivalence_point _ | Process_exited | Dump_failed _ | Unwind_failed _
   | Recode_failed _ | Shuffle_failed _ | Layout_incompatible _ | Transfer_failed _
-  | Restore_failed _ -> false
+  | Restore_failed _ | Verify_failed _ -> false
 
 exception Error of t
 

@@ -31,6 +31,12 @@ type t =
       (** DSU: a patched function is live on some stack. *)
   | Transfer_failed of string  (** Image transfer between nodes failed. *)
   | Restore_failed of string  (** Image could not be materialized. *)
+  | Verify_failed of string
+      (** Conformance verification found a violated invariant: a corrupt
+          stack map (static verifier) or a state divergence between the
+          source and the migrated twin (migration oracle). Structural —
+          never retriable — and attributed to the recode stage, whose
+          compiler→rewriter contract it polices. *)
 
 val to_string : t -> string
 

@@ -19,4 +19,5 @@ let () =
      @ Test_net.suites
      @ Test_session.suites
      @ Test_stackmap_invariants.suites
-     @ Test_indexes.suites)
+     @ Test_indexes.suites
+     @ Test_verify.suites)

@@ -4,6 +4,7 @@ open Dapper
 module Link = Dapper_codegen.Link
 module Netlink = Dapper_net.Link
 module Derr = Dapper_util.Dapper_error
+module Oracle = Dapper_verify.Oracle
 
 let check = Alcotest.check
 
@@ -205,6 +206,62 @@ let test_transport_costs () =
   check Alcotest.int "only present pages counted" 2 stats.Transport.srv_pages;
   check Alcotest.bool "serving time accumulated" true (stats.Transport.srv_ns > 0.0)
 
+(* ----- forced migration at every equivalence point -----
+
+   The oracle advances a fresh twin to each dynamic equivalence point of
+   every example program and drives the full session pipeline there,
+   checking the restored process pointwise against the source twin (see
+   Dapper_verify.Oracle). One migration per point, both directions. *)
+
+let test_migration_at_every_eqpoint () =
+  List.iter
+    (fun (name, c) ->
+      List.iter
+        (fun (src, dst) ->
+          match Oracle.run ~src ~dst c with
+          | Error f -> Alcotest.fail (Oracle.failure_to_string f)
+          | Ok r ->
+            check Alcotest.bool (name ^ " walk ran to exit") true r.Oracle.rp_complete;
+            check Alcotest.bool (name ^ " has equivalence points") true
+              (r.Oracle.rp_points > 0);
+            check Alcotest.int
+              (name ^ " one migration per point")
+              r.Oracle.rp_points r.Oracle.rp_migrations)
+        [ (Dapper_isa.Arch.X86_64, Dapper_isa.Arch.Aarch64);
+          (Dapper_isa.Arch.Aarch64, Dapper_isa.Arch.X86_64) ])
+    (Dapper_verify.Corpus.all ())
+
+(* ----- migration determinism with warm/cold caches -----
+
+   Rewriting the same paused process twice must produce byte-identical
+   images and identical cost stats, at a mid-program equivalence point
+   of the pointer-heavy example (the worst case for plan caching). *)
+
+let migrate_at_point c point =
+  Plan_cache.clear ();
+  Dapper_binary.Stackmap_index.reset_counters ();
+  let p = Process.load c.Link.cp_x86 in
+  if not (Oracle.advance_to_point p ~budget:30_000_000 point) then
+    Alcotest.failf "program exited before point %d" point;
+  let image = Dapper_util.Dapper_error.ok_exn (Dapper_criu.Dump.dump p) in
+  let image', stats =
+    Dapper_util.Dapper_error.ok_exn
+      (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm)
+  in
+  (Dapper_criu.Images.to_files image', stats)
+
+let test_migration_deterministic () =
+  let c = Option.get (Dapper_verify.Corpus.find "mini-sieve") in
+  let files1, stats1 = migrate_at_point c 3 in
+  let files2, stats2 = migrate_at_point c 3 in
+  check Alcotest.int "same file count" (List.length files1) (List.length files2);
+  List.iter2
+    (fun (n1, b1) (n2, b2) ->
+      check Alcotest.string "file name" n1 n2;
+      check Alcotest.bool (n1 ^ " bytes identical") true (String.equal b1 b2))
+    files1 files2;
+  check Alcotest.bool "stats identical (incl. counters)" true (stats1 = stats2)
+
 let suites =
   [ ( "session",
       [ Alcotest.test_case "run: happy path + stage log" `Quick test_run_happy_path;
@@ -214,4 +271,8 @@ let suites =
           test_stage_failure_resumes_source;
         Alcotest.test_case "stepwise typed pipeline" `Quick test_stepwise_typed_pipeline;
         Alcotest.test_case "retry combinator" `Quick test_retry_combinator;
-        Alcotest.test_case "transport costs + accounting" `Quick test_transport_costs ] ) ]
+        Alcotest.test_case "transport costs + accounting" `Quick test_transport_costs;
+        Alcotest.test_case "forced migration at every equivalence point" `Quick
+          test_migration_at_every_eqpoint;
+        Alcotest.test_case "migration deterministic (images + cost stats)" `Quick
+          test_migration_deterministic ] ) ]
