@@ -121,6 +121,42 @@ let run_fuzz count max_points =
     (List.length directions) !failed;
   !failed = 0
 
+(* ----- chaos runs ----- *)
+
+let run_chaos seeds prob verbose =
+  let spec = Dapper_util.Fault.uniform prob in
+  let progress r =
+    if verbose then print_endline (Dapper_verify.Chaos.run_report_to_string r)
+  in
+  match Dapper_verify.Chaos.sweep ~progress ~spec ~seeds () with
+  | Ok s ->
+    Printf.printf "chaos p=%g: %s\n%!" prob (Dapper_verify.Chaos.summary_to_string s);
+    true
+  | Error f ->
+    Printf.printf "chaos p=%g FAILED %s\n%!" prob
+      (Dapper_verify.Chaos.failure_to_string f);
+    false
+
+(* Recovery-rate and added-latency table over a range of fault
+   probabilities (the EXPERIMENTS.md "Fault injection & recovery"
+   numbers). *)
+let run_chaos_table seeds =
+  Printf.printf "%-8s %6s %10s %12s %8s %13s %10s\n%!" "p(fault)" "runs"
+    "committed" "rolled-back" "faults" "retransmits" "added-ms";
+  List.for_all
+    (fun prob ->
+      match Dapper_verify.Chaos.sweep ~spec:(Dapper_util.Fault.uniform prob) ~seeds () with
+      | Ok s ->
+        Printf.printf "%-8g %6d %10d %12d %8d %13d %10.2f\n%!" prob s.cs_runs
+          s.cs_committed s.cs_rolled_back s.cs_faults s.cs_retransmits
+          s.cs_added_ms;
+        true
+      | Error f ->
+        Printf.printf "%-8g FAILED %s\n%!" prob
+          (Dapper_verify.Chaos.failure_to_string f);
+        false)
+    [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.4 ]
+
 (* ----- the full gate ----- *)
 
 let run_conformance count max_points =
@@ -172,6 +208,23 @@ let cmd =
         (Cmd.info "fuzz" ~doc:"Oracle over the seeded generated corpus, both directions")
         Term.(const (fun n k -> if run_fuzz n k then 0 else 1)
               $ count_arg $ max_points_arg 3);
+      Cmd.v
+        (Cmd.info "chaos"
+           ~doc:"Seeded fault-injection sweep: every run must commit or roll back \
+                 cleanly. With $(b,--table), sweep a range of fault probabilities.")
+        Term.(const (fun seeds prob verbose table ->
+                  let ok =
+                    if table then run_chaos_table seeds
+                    else run_chaos seeds prob verbose
+                  in
+                  if ok then 0 else 1)
+              $ Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N"
+                       ~doc:"Number of seeded fault schedules to sweep.")
+              $ Arg.(value & opt float 0.2 & info [ "prob" ] ~docv:"P"
+                       ~doc:"Per-site fault probability (node crashes at P/3).")
+              $ Arg.(value & flag & info [ "verbose" ] ~doc:"Print every run.")
+              $ Arg.(value & flag & info [ "table" ]
+                       ~doc:"Print the recovery-rate table over fault probabilities."));
       Cmd.v
         (Cmd.info "conformance"
            ~doc:"The full gate: static + mutations + example sweep + generated corpus")

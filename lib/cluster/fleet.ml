@@ -15,12 +15,15 @@ type config = {
   f_job_fuel : int;
   f_speed_scale : float;
   f_pause_budget : int;
+  f_transport : Transport.t;
+  f_fault : Fault.t option;
 }
 
 let default_config =
   { f_window_ms = 30_000.0; f_quantum_ms = 50.0; f_xeon_slots = 7; f_rpis = 3;
     f_rpi_slots_each = 3; f_evict = true; f_bytes_scale = 1.0;
-    f_job_fuel = 50_000_000; f_speed_scale = 4200.0; f_pause_budget = 50_000_000 }
+    f_job_fuel = 50_000_000; f_speed_scale = 4200.0; f_pause_budget = 50_000_000;
+    f_transport = Transport.scp Dapper_net.Link.infiniband; f_fault = None }
 
 type stats = {
   f_jobs_done : int;
@@ -28,6 +31,8 @@ type stats = {
   f_evictions : int;
   f_eviction_failures : int;
   f_eviction_retries : int;
+  f_nodes_lost : int;
+  f_recoveries : (string * int) list;
   f_migration_ms_total : float;
   f_energy_kj : float;
   f_jobs_per_kj : float;
@@ -46,6 +51,7 @@ type slot = {
   mutable s_job : running option;
   mutable s_busy_ms : float;
   mutable s_stall_ms : float;  (** time owed (e.g. migration overhead) *)
+  mutable s_dead : bool;       (** node killed by the fault plane *)
 }
 
 let run config (jobs : Link.compiled list) =
@@ -59,15 +65,23 @@ let run config (jobs : Link.compiled list) =
   in
   let xeon_slots =
     Array.init config.f_xeon_slots (fun _ ->
-        { s_node = Node.xeon; s_job = None; s_busy_ms = 0.0; s_stall_ms = 0.0 })
+        { s_node = Node.xeon; s_job = None; s_busy_ms = 0.0; s_stall_ms = 0.0;
+          s_dead = false })
   in
   let rpi_slots =
     Array.init (config.f_rpis * config.f_rpi_slots_each) (fun _ ->
-        { s_node = Node.rpi; s_job = None; s_busy_ms = 0.0; s_stall_ms = 0.0 })
+        { s_node = Node.rpi; s_job = None; s_busy_ms = 0.0; s_stall_ms = 0.0;
+          s_dead = false })
   in
   let done_total = ref 0 and done_rpi = ref 0 in
   let evictions = ref 0 and eviction_failures = ref 0 in
   let eviction_retries = ref 0 in
+  let nodes_lost = ref 0 in
+  let recoveries : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let recover app =
+    Hashtbl.replace recoveries app
+      (1 + Option.value ~default:0 (Hashtbl.find_opt recoveries app))
+  in
   let migration_ms = ref 0.0 in
   let start_job slot quantum =
     let compiled = next_job () in
@@ -85,7 +99,9 @@ let run config (jobs : Link.compiled list) =
     if config.f_evict then
       Array.iter
         (fun pi ->
-          if pi.s_job = None && Array.for_all (fun s -> s.s_job <> None) xeon_slots
+          if
+            pi.s_job = None && (not pi.s_dead)
+            && Array.for_all (fun s -> s.s_job <> None) xeon_slots
           then begin
             (* evict the most recently started xeon job (least sunk cost) *)
             let victim =
@@ -113,39 +129,64 @@ let run config (jobs : Link.compiled list) =
               let scfg =
                 { (Session.default_config ~src_bin ~dst_bin) with
                   Session.cfg_bytes_scale = config.f_bytes_scale;
-                  cfg_pause_budget = config.f_pause_budget }
+                  cfg_pause_budget = config.f_pause_budget;
+                  cfg_transport = config.f_transport;
+                  cfg_fault = config.f_fault }
               in
-              (match Session.run scfg job.r_proc with
-               | Ok st ->
-                 let r = Session.finish st in
-                 incr evictions;
-                 let cost = Session.total_ms r.Session.r_times in
-                 migration_ms := !migration_ms +. cost;
-                 (* the migration's cost stalls the destination slot; the
-                    victim slot hands its job over and owes nothing *)
-                 pi.s_stall_ms <- pi.s_stall_ms +. cost;
-                 pi.s_job <-
-                   Some { r_proc = r.Session.r_process; r_compiled = job.r_compiled;
-                          r_started_quantum = q };
-                 vs.s_job <- None;
-                 start_job vs q
-               | Error e ->
-                 (* The session's abort already resumed the source. A
-                    transient failure (drain budget exhausted) leaves the
-                    job in place to retry at a later quantum; only
-                    structural failures count as lost evictions. *)
-                 if Dapper_error.retriable e then incr eviction_retries
-                 else incr eviction_failures;
-                 (match job.r_proc.Process.exit_code with
-                  | Some _ ->
-                    (* the job finished during the pause *)
-                    incr done_total;
-                    vs.s_job <- None;
-                    start_job vs q
-                  | None ->
-                    (* no migration happened: make sure no stall is charged
-                       for it when the job resumes here *)
-                    vs.s_stall_ms <- 0.0))
+              (* the fault plane may kill the destination node outright
+                 mid-eviction: the node leaves the pool and the job —
+                 never having left the source — re-enters the queue of
+                 eviction candidates, to be retried on another node *)
+              let node_killed =
+                match
+                  Option.bind config.f_fault (fun f -> Fault.draw f Fault.Dest_node)
+                with
+                | Some Fault.Crash ->
+                  pi.s_dead <- true;
+                  incr nodes_lost;
+                  true
+                | _ -> false
+              in
+              if node_killed then begin
+                incr eviction_retries;
+                recover job.r_compiled.Link.cp_app
+              end
+              else
+                (match Session.run scfg job.r_proc with
+                 | Ok st ->
+                   let r = Session.finish st in
+                   incr evictions;
+                   let cost = Session.total_ms r.Session.r_times in
+                   migration_ms := !migration_ms +. cost;
+                   (* the migration's cost stalls the destination slot; the
+                      victim slot hands its job over and owes nothing *)
+                   pi.s_stall_ms <- pi.s_stall_ms +. cost;
+                   pi.s_job <-
+                     Some { r_proc = r.Session.r_process; r_compiled = job.r_compiled;
+                            r_started_quantum = q };
+                   vs.s_job <- None;
+                   start_job vs q
+                 | Error e ->
+                   (* The session's rollback already resumed the source. A
+                      transient failure (drain budget exhausted, transfer
+                      timed out, node lost) leaves the job in place to
+                      retry at a later quantum — possibly on a different
+                      node; only structural failures count as lost
+                      evictions. Either way the recovery is charged to the
+                      job so flaky applications are visible per name. *)
+                   if Dapper_error.retriable e then incr eviction_retries
+                   else incr eviction_failures;
+                   recover job.r_compiled.Link.cp_app;
+                   (match job.r_proc.Process.exit_code with
+                    | Some _ ->
+                      (* the job finished during the pause *)
+                      incr done_total;
+                      vs.s_job <- None;
+                      start_job vs q
+                    | None ->
+                      (* no migration happened: make sure no stall is charged
+                         for it when the job resumes here *)
+                      vs.s_stall_ms <- 0.0))
           end)
         rpi_slots;
     (* advance every busy slot by one quantum *)
@@ -196,6 +237,10 @@ let run config (jobs : Link.compiled list) =
     f_evictions = !evictions;
     f_eviction_failures = !eviction_failures;
     f_eviction_retries = !eviction_retries;
+    f_nodes_lost = !nodes_lost;
+    f_recoveries =
+      List.sort compare
+        (Hashtbl.fold (fun app n acc -> (app, n) :: acc) recoveries []);
     f_migration_ms_total = !migration_ms;
     f_energy_kj = energy_j /. 1000.0;
     f_jobs_per_kj = float_of_int !done_total /. (energy_j /. 1000.0) }

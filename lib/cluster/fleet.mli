@@ -15,6 +15,8 @@
     heterogenous speeds, migration overheads and energy all come from
     the same clock. *)
 
+open Dapper_util
+open Dapper_net
 open Dapper_codegen
 
 type config = {
@@ -34,6 +36,14 @@ type config = {
   f_pause_budget : int;
       (** drain budget for eviction pauses; a budget too small to
           quiesce a job makes the eviction retry at a later quantum *)
+  f_transport : Transport.t;
+      (** transport evictions migrate over (default: eager scp over
+          infiniband); wrap with {!Transport.retrying} to survive an
+          unreliable link *)
+  f_fault : Fault.t option;
+      (** chaos plane threaded into every eviction session; also drawn
+          at {!Fault.Dest_node} before each eviction — a crash kills the
+          destination node for the rest of the window *)
 }
 
 val default_config : config
@@ -47,8 +57,15 @@ type stats = {
           during the pause); the job is not migrated *)
   f_eviction_retries : int;
       (** eviction attempts abandoned on a transient failure (e.g. drain
-          budget exhausted): the job resumes on its Xeon slot and the
-          eviction is retried at a later quantum *)
+          budget exhausted, transfer timed out, destination node lost):
+          the job resumes on its Xeon slot and the eviction is retried at
+          a later quantum, possibly on a different node *)
+  f_nodes_lost : int;
+      (** destination nodes killed by the fault plane; a dead node's
+          slots leave the eviction pool for the rest of the window *)
+  f_recoveries : (string * int) list;
+      (** recovery events per job name (sorted): every abandoned or
+          failed eviction that rolled the job back to its source slot *)
   f_migration_ms_total : float;
   f_energy_kj : float;
   f_jobs_per_kj : float;

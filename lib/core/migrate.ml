@@ -15,6 +15,7 @@ let total_ms = Session.total_ms
 type page_server_stats = Transport.page_stats = {
   mutable srv_pages : int;
   mutable srv_ns : float;
+  mutable srv_retransmits : int;
 }
 
 type result = Session.outcome = {
@@ -24,6 +25,8 @@ type result = Session.outcome = {
   r_rewrite : Rewrite.stats;
   r_pause : Monitor.pause_stats;
   r_page_server : page_server_stats option;
+  r_transfer : Transport.tx_stats;
+  r_drained : int;
 }
 
 type error = Dapper_error.t
@@ -64,6 +67,8 @@ let migrate ?(lazy_pages = false) ?(link = Link.infiniband) ?recode_on
       cfg_src_bin = src_bin;
       cfg_dst_bin = dst_bin;
       cfg_bytes_scale = bytes_scale;
-      cfg_pause_budget = budget }
+      cfg_pause_budget = budget;
+      cfg_commit_drain = false;
+      cfg_fault = None }
   in
   Result.map Session.finish (Session.run cfg p)

@@ -35,6 +35,7 @@ val total_ms : phase_times -> float
 type page_server_stats = Transport.page_stats = {
   mutable srv_pages : int;
   mutable srv_ns : float;
+  mutable srv_retransmits : int;
 }
 
 type result = Session.outcome = {
@@ -44,6 +45,8 @@ type result = Session.outcome = {
   r_rewrite : Rewrite.stats;
   r_pause : Monitor.pause_stats;
   r_page_server : page_server_stats option;  (** present in lazy mode *)
+  r_transfer : Transport.tx_stats;           (** eager-transfer accounting *)
+  r_drained : int;                (** post-copy pages pulled at commit *)
 }
 
 (** Migration failures are the unified {!Dapper_error.t};

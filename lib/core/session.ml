@@ -13,6 +13,8 @@ type config = {
   cfg_dst_bin : Binary.t;
   cfg_bytes_scale : float;
   cfg_pause_budget : int;
+  cfg_commit_drain : bool;
+  cfg_fault : Fault.t option;
 }
 
 let default_config ~src_bin ~dst_bin =
@@ -23,7 +25,9 @@ let default_config ~src_bin ~dst_bin =
     cfg_src_bin = src_bin;
     cfg_dst_bin = dst_bin;
     cfg_bytes_scale = 1.0;
-    cfg_pause_budget = 50_000_000 }
+    cfg_pause_budget = 50_000_000;
+    cfg_commit_drain = false;
+    cfg_fault = None }
 
 (* Cost-model constants (see EXPERIMENTS.md, "Calibration"). *)
 let checkpoint_fixed_ns = 3.0e6    (* freeze + /proc walk + image setup *)
@@ -77,7 +81,7 @@ let times_of_log log =
         { acc with t_checkpoint_ms = acc.t_checkpoint_ms +. r.sr_ms }
       | Dapper_error.Recode -> { acc with t_recode_ms = acc.t_recode_ms +. r.sr_ms }
       | Dapper_error.Transfer -> { acc with t_scp_ms = acc.t_scp_ms +. r.sr_ms }
-      | Dapper_error.Restore ->
+      | Dapper_error.Restore | Dapper_error.Commit ->
         { acc with t_restore_ms = acc.t_restore_ms +. r.sr_ms })
     { t_checkpoint_ms = 0.0; t_recode_ms = 0.0; t_scp_ms = 0.0; t_restore_ms = 0.0 }
     log
@@ -86,6 +90,7 @@ type 'st t = {
   s_cfg : config;
   s_source : Process.t;
   s_log : stage_record list;
+  s_tx : Transport.tx_stats;
   s_state : 'st;
 }
 
@@ -119,17 +124,32 @@ type restored = {
   sf_image_bytes : int;
   sf_process : Process.t;
   sf_page_server : Transport.page_stats option;
+  sf_lazy_pages : int list;
 }
 
-let start cfg source = { s_cfg = cfg; s_source = source; s_log = []; s_state = Ready }
+type committed = {
+  sm_pause : Monitor.pause_stats;
+  sm_rewrite : Rewrite.stats;
+  sm_image_bytes : int;
+  sm_process : Process.t;
+  sm_page_server : Transport.page_stats option;
+  sm_drained : int;
+}
+
+let start cfg source =
+  { s_cfg = cfg; s_source = source; s_log = [];
+    s_tx = Transport.fresh_tx_stats (); s_state = Ready }
 
 let stage_log s = List.rev s.s_log
 let times s = times_of_log s.s_log
+let transfer_stats s = s.s_tx
 
-let abort s =
+let rollback s =
   match s.s_source.Process.exit_code with
   | Some _ -> ()  (* nothing left to resume *)
   | None -> Monitor.resume s.s_source
+
+let abort = rollback
 
 let scaled cfg b = int_of_float (float_of_int b *. cfg.cfg_bytes_scale)
 
@@ -142,7 +162,7 @@ let guard s f =
   match f () with
   | Ok _ as ok -> ok
   | Error _ as err ->
-    abort s;
+    rollback s;
     err
 
 let pause (s : ready t) =
@@ -185,17 +205,37 @@ let recode (s : dumped t) =
              { sc_pause = sd_pause; sc_image = image';
                sc_rewrite = rw; sc_image_bytes = image_bytes }))
 
+(* The recoded image actually crosses the wire: serialized to its named
+   files, exposed chunk by chunk to the fault plane, checksum-verified
+   and (under a retrying transport) retransmitted; the destination
+   re-parses what arrived. Without faults or retries this is exactly
+   the old single-attempt cost. *)
 let transfer (s : recoded t) =
   guard s (fun () ->
       let { sc_pause; sc_image; sc_rewrite; sc_image_bytes } = s.s_state in
-      let ms =
-        Transport.transfer_ns s.s_cfg.cfg_transport (scaled s.s_cfg sc_image_bytes)
-        /. 1e6
-      in
-      Ok
-        (step s Dapper_error.Transfer ~ms
-           { sx_pause = sc_pause; sx_image = sc_image;
-             sx_rewrite = sc_rewrite; sx_image_bytes = sc_image_bytes }))
+      let cfg = s.s_cfg in
+      match
+        Transport.transmit cfg.cfg_transport ?fault:cfg.cfg_fault ~stats:s.s_tx
+          ~bytes:(scaled cfg sc_image_bytes)
+          (Images.to_files sc_image)
+      with
+      | Error _ as e -> e
+      | Ok (received, ns) ->
+        (match Images.of_files received with
+         | exception Images.Image_error msg ->
+           Error (Dapper_error.Transfer_failed ("received image unparsable: " ^ msg))
+         | image' ->
+           Ok
+             (step s Dapper_error.Transfer ~ms:(ns /. 1e6)
+                { sx_pause = sc_pause; sx_image = image';
+                  sx_rewrite = sc_rewrite; sx_image_bytes = sc_image_bytes })))
+
+let lazy_page_numbers (is : Images.image_set) =
+  List.concat_map
+    (fun (e : Images.pagemap_entry) ->
+      if e.pm_in_dump then []
+      else List.init e.pm_npages (fun k -> Layout.page_of_addr e.pm_vaddr + k))
+    is.Images.is_pagemap
 
 let restore (s : transferred t) =
   guard s (fun () ->
@@ -203,36 +243,114 @@ let restore (s : transferred t) =
       let cfg = s.s_cfg in
       let transport = cfg.cfg_transport in
       let lazy_pages = Transport.is_lazy transport in
-      (* Lazy page server: serves from the paused source process, with
-         round-trip accounting per fetched page. *)
-      let server_stats =
-        if lazy_pages then Some (Transport.fresh_page_stats ()) else None
-      in
-      let page_source =
-        match server_stats with
-        | None -> None
-        | Some stats ->
-          let fetch pn =
-            match Memory.page_contents s.s_source.Process.mem pn with
-            | Some data -> Some (Bytes.copy data)
-            | None -> None
-          in
-          Some
-            (Transport.serve_pages transport stats
-               ~page_bytes:(scaled cfg Layout.page_size) fetch)
-      in
-      match Restore.restore ?page_source sx_image cfg.cfg_dst_bin with
-      | Error _ as e -> e
-      | Ok q ->
-        let ms =
-          if lazy_pages then lazy_restore_ms ~node:cfg.cfg_dst_node
-          else restore_ms ~node:cfg.cfg_dst_node ~bytes:(scaled cfg sx_image_bytes)
+      (* Injected destination failure while materializing the image. *)
+      match Option.bind cfg.cfg_fault (fun f -> Fault.draw f Fault.Dest_restore) with
+      | Some Fault.Crash ->
+        Error (Dapper_error.Restore_failed "destination failed during restore (injected)")
+      | _ ->
+        (* Lazy page server: serves from the paused source process, with
+           round-trip accounting per fetched page. *)
+        let server_stats =
+          if lazy_pages then Some (Transport.fresh_page_stats ()) else None
         in
-        Ok
-          (step s Dapper_error.Restore ~ms
-             { sf_pause = sx_pause; sf_rewrite = sx_rewrite;
-               sf_image_bytes = sx_image_bytes; sf_process = q;
-               sf_page_server = server_stats }))
+        let page_source =
+          match server_stats with
+          | None -> None
+          | Some stats ->
+            let fetch pn =
+              match Memory.page_contents s.s_source.Process.mem pn with
+              | Some data -> Some (Bytes.copy data)
+              | None -> None
+            in
+            Some
+              (Transport.serve_pages transport stats
+                 ~page_bytes:(scaled cfg Layout.page_size) fetch)
+        in
+        (match Restore.restore ?page_source sx_image cfg.cfg_dst_bin with
+         | Error _ as e -> e
+         | Ok q ->
+           let ms =
+             if lazy_pages then lazy_restore_ms ~node:cfg.cfg_dst_node
+             else restore_ms ~node:cfg.cfg_dst_node ~bytes:(scaled cfg sx_image_bytes)
+           in
+           Ok
+             (step s Dapper_error.Restore ~ms
+                { sf_pause = sx_pause; sf_rewrite = sx_rewrite;
+                  sf_image_bytes = sx_image_bytes; sf_process = q;
+                  sf_page_server = server_stats;
+                  sf_lazy_pages = lazy_page_numbers sx_image })))
+
+(* Two-phase commit: the paused source stays resumable until the
+   destination acknowledges a verified restore. The acknowledgement has
+   three parts — (1) the destination survives to the ack (the fault
+   plane may kill it first); (2) with [cfg_commit_drain], every
+   outstanding post-copy page is pulled through the fault-aware,
+   checksummed fetch path, so after commit the destination no longer
+   depends on the source (a source/page-server crash mid-drain aborts
+   the restore instead of stranding a half-paged process); (3) the
+   destination's observable state must match the paused source. Any
+   failure rolls back to a running source. *)
+let commit (s : restored t) =
+  guard s (fun () ->
+      let st = s.s_state in
+      let cfg = s.s_cfg in
+      let q = st.sf_process in
+      let lazy_t = Transport.is_lazy cfg.cfg_transport in
+      match Option.bind cfg.cfg_fault (fun f -> Fault.draw f Fault.Dest_restore) with
+      | Some Fault.Crash ->
+        Error
+          (Dapper_error.Commit_failed
+             "destination lost before acknowledging the restore (injected)")
+      | _ ->
+        let drain () =
+          match st.sf_page_server with
+          | Some stats when cfg.cfg_commit_drain ->
+            let fetch pn =
+              match Memory.page_contents s.s_source.Process.mem pn with
+              | Some data -> Some (Bytes.copy data)
+              | None -> None
+            in
+            let before_ns = stats.Transport.srv_ns in
+            let rec go drained = function
+              | [] -> Ok (drained, (stats.Transport.srv_ns -. before_ns) /. 1e6)
+              | pn :: rest ->
+                if Memory.is_mapped q.Process.mem pn then go drained rest
+                else
+                  (match
+                     Transport.fetch_page cfg.cfg_transport ?fault:cfg.cfg_fault
+                       stats ~page_bytes:(scaled cfg Layout.page_size) fetch pn
+                   with
+                   | Error _ as e -> e
+                   | Ok None -> go drained rest
+                   | Ok (Some data) ->
+                     Memory.map_page q.Process.mem pn data;
+                     go (drained + 1) rest)
+            in
+            go 0 st.sf_lazy_pages
+          | _ -> Ok (0, 0.0)
+        in
+        (match drain () with
+         | Error _ as e -> e
+         | Ok (drained, drain_ms) ->
+           (* Verified-restore acknowledgement: the destination's
+              observable state must equal the paused source's. A
+              half-paged lazy destination cannot be digested, so without
+              a drain the lazy ack degrades to the restore's own
+              arch/app checks. *)
+           let verifiable = (not lazy_t) || cfg.cfg_commit_drain in
+           if
+             verifiable
+             && not (Process.state_equal (Process.observe s.s_source) (Process.observe q))
+           then
+             Error
+               (Dapper_error.Commit_failed
+                  "destination state does not match the paused source")
+           else
+             Ok
+               (step s Dapper_error.Commit ~ms:drain_ms
+                  { sm_pause = st.sf_pause; sm_rewrite = st.sf_rewrite;
+                    sm_image_bytes = st.sf_image_bytes; sm_process = q;
+                    sm_page_server = st.sf_page_server; sm_drained = drained })))
 
 let rec retry ~attempts ?(should_retry = Dapper_error.retriable)
     ?(before_retry = fun () -> ()) f =
@@ -250,16 +368,20 @@ type outcome = {
   r_rewrite : Rewrite.stats;
   r_pause : Monitor.pause_stats;
   r_page_server : Transport.page_stats option;
+  r_transfer : Transport.tx_stats;
+  r_drained : int;
 }
 
-let finish (s : restored t) =
+let finish (s : committed t) =
   let st = s.s_state in
-  { r_process = st.sf_process;
+  { r_process = st.sm_process;
     r_times = times s;
-    r_image_bytes = st.sf_image_bytes;
-    r_rewrite = st.sf_rewrite;
-    r_pause = st.sf_pause;
-    r_page_server = st.sf_page_server }
+    r_image_bytes = st.sm_image_bytes;
+    r_rewrite = st.sm_rewrite;
+    r_pause = st.sm_pause;
+    r_page_server = st.sm_page_server;
+    r_transfer = s.s_tx;
+    r_drained = st.sm_drained }
 
 let ( let* ) = Result.bind
 
@@ -268,4 +390,5 @@ let run cfg p =
   let* s = dump s in
   let* s = recode s in
   let* s = transfer s in
-  restore s
+  let* s = restore s in
+  commit s

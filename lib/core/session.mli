@@ -1,25 +1,42 @@
 (** Migration sessions: the paper's pipeline as an explicit, typed state
-    machine.
+    machine with two-phase-commit semantics.
 
     A live migration proceeds [Paused -> Dumped -> Recoded ->
-    Transferred -> Restored]; each transition is a [result]-returning
-    step over a state-indexed session value, so a driver can only apply
-    stages in order, and per-stage timing, retry, and abort-with-resume
-    fall out of the structure:
+    Transferred -> Restored -> Committed]; each transition is a
+    [result]-returning step over a state-indexed session value, so a
+    driver can only apply stages in order, and per-stage timing, retry,
+    and rollback-with-resume fall out of the structure:
 
     - every completed step appends a {!stage_record} carrying that
       stage's modeled cost contribution (the per-phase breakdown of
       Fig. 5/7 is just {!times} over the log);
-    - any step may fail with a {!Dapper_error.t}; {!abort} (called
-      automatically by {!run}) un-pauses the source so a failed
-      migration never strands the process at its equivalence points;
+    - any step may fail with a {!Dapper_error.t}; {!rollback} (called
+      automatically by every step and by {!run}) un-pauses the source so
+      a failed migration never strands the process at its equivalence
+      points;
     - {!retry} re-runs a step while its error is transient
       ({!Dapper_error.retriable} by default).
+
+    The two-phase-commit discipline: the paused source is the commit
+    point's fallback until {!commit} succeeds — the destination must
+    survive to the acknowledgement, (optionally) drain every outstanding
+    post-copy page, and present observable state identical to the paused
+    source. Any failure before that acknowledgement — including a
+    destination crash after a successful restore — rolls back to a
+    running source; only a successful commit transfers ownership.
 
     The eager-vs-lazy distinction lives in the session's
     {!Transport.t}: a lazy transport makes [dump] keep non-essential
     pages on the source and [restore] install a demand-page source
-    served (with accounting) from the paused source process. *)
+    served (with accounting) from the paused source process.
+
+    Fault injection: when {!config.cfg_fault} carries a {!Fault.t}
+    schedule, the transfer stage, the lazy page path and the
+    restore/commit stages consult it — transfers may be dropped,
+    corrupted or delayed (detected by checksums, recovered by a
+    {!Transport.retrying} policy), the source's page server may become
+    unreachable mid-paging, and the destination may fail during restore
+    or before the commit acknowledgement. *)
 
 open Dapper_util
 open Dapper_binary
@@ -38,10 +55,16 @@ type config = {
   cfg_dst_bin : Binary.t;
   cfg_bytes_scale : float;     (** footprint multiplier for cost modeling *)
   cfg_pause_budget : int;      (** drain budget (instructions) for pause *)
+  cfg_commit_drain : bool;
+  (** drain all outstanding post-copy pages at commit, removing the
+      destination's dependence on the source before ownership transfers
+      (default off: commit is verification/ack only, preserving lazy
+      page-fault accounting) *)
+  cfg_fault : Fault.t option;  (** chaos plane; [None] = clean run *)
 }
 
 (** Xeon-to-Pi over infiniband scp with the standard drain budget — the
-    paper's testbed defaults. *)
+    paper's testbed defaults. No commit drain, no faults. *)
 val default_config : src_bin:Binary.t -> dst_bin:Binary.t -> config
 
 (** {1 Per-stage cost model}
@@ -75,7 +98,8 @@ val total_ms : phase_times -> float
 type stage_record = { sr_stage : Dapper_error.stage; sr_ms : float }
 
 (** Fold a stage log into the classic four-phase breakdown (pause and
-    dump both contribute to the checkpoint phase). *)
+    dump both contribute to the checkpoint phase; commit contributes to
+    the restore phase). *)
 val times_of_log : stage_record list -> phase_times
 
 (** {1 The session state machine} *)
@@ -84,6 +108,7 @@ type 'st t = private {
   s_cfg : config;
   s_source : Process.t;
   s_log : stage_record list;  (** completed stages, most recent first *)
+  s_tx : Transport.tx_stats;  (** this session's transfer accounting *)
   s_state : 'st;
 }
 
@@ -120,6 +145,16 @@ type restored = {
   sf_image_bytes : int;
   sf_process : Process.t;
   sf_page_server : Transport.page_stats option;
+  sf_lazy_pages : int list;  (** pages still owed by the source *)
+}
+
+type committed = {
+  sm_pause : Monitor.pause_stats;
+  sm_rewrite : Rewrite.stats;
+  sm_image_bytes : int;
+  sm_process : Process.t;
+  sm_page_server : Transport.page_stats option;
+  sm_drained : int;  (** post-copy pages pulled at commit *)
 }
 
 val start : config -> Process.t -> ready t
@@ -134,22 +169,43 @@ val dump : paused t -> (dumped t, Dapper_error.t) result
 (** Rewrite the image for the destination binary/ISA. *)
 val recode : dumped t -> (recoded t, Dapper_error.t) result
 
-(** Move the (eager part of the) image over the transport. *)
+(** Move the (eager part of the) image over the transport: serialized to
+    its named files, checksummed, exposed to the fault plane, and — under
+    a {!Transport.retrying} policy — retransmitted on drop/corruption. *)
 val transfer : recoded t -> (transferred t, Dapper_error.t) result
 
 (** Materialize the destination process; lazy transports install a
-    demand-page source served from the paused source process. *)
+    demand-page source served from the paused source process. The fault
+    plane may fail the destination here ([Restore_failed]). *)
 val restore : transferred t -> (restored t, Dapper_error.t) result
+
+(** The second phase of two-phase commit: the destination acknowledges a
+    verified restore, after which (and only after which) the source may
+    be discarded. With [cfg_commit_drain], first pulls every outstanding
+    post-copy page through the fault-aware checksummed fetch path.
+    Failure modes — destination lost before the ack ([Commit_failed],
+    injected), page server unreachable mid-drain ([Source_lost]), drain
+    retries exhausted ([Transfer_timeout]), or destination state not
+    matching the paused source ([Commit_failed]) — all roll back to a
+    running source. *)
+val commit : restored t -> (committed t, Dapper_error.t) result
 
 (** Un-pause the source (no-op if it already exited). Safe in any state;
     the steps and {!run} call it on failure so callers only need it when
     driving stages by hand and abandoning a session mid-way. *)
+val rollback : _ t -> unit
+
+(** [abort] is {!rollback} under its pre-2PC name. *)
 val abort : _ t -> unit
 
 (** Completed stage records, in execution order. *)
 val stage_log : _ t -> stage_record list
 
 val times : _ t -> phase_times
+
+(** This session's eager-transfer accounting (attempts, retransmissions,
+    detected corruption, injected latency). *)
+val transfer_stats : _ t -> Transport.tx_stats
 
 (** [retry ~attempts f] runs [f] up to [attempts] times, re-running
     while [should_retry] (default {!Dapper_error.retriable}) accepts the
@@ -164,7 +220,7 @@ val retry :
 
 (** {1 Driving a whole migration} *)
 
-(** The classic migration result, assembled from a completed session. *)
+(** The classic migration result, assembled from a committed session. *)
 type outcome = {
   r_process : Process.t;
   r_times : phase_times;
@@ -172,10 +228,12 @@ type outcome = {
   r_rewrite : Rewrite.stats;
   r_pause : Monitor.pause_stats;
   r_page_server : Transport.page_stats option;
+  r_transfer : Transport.tx_stats;
+  r_drained : int;
 }
 
-val finish : restored t -> outcome
+val finish : committed t -> outcome
 
-(** Run all five stages in order. On any stage failure the source is
-    resumed ({!abort}) and the stage's error returned. *)
-val run : config -> Process.t -> (restored t, Dapper_error.t) result
+(** Run all six stages in order. On any stage failure the source is
+    resumed ({!rollback}) and the stage's error returned. *)
+val run : config -> Process.t -> (committed t, Dapper_error.t) result

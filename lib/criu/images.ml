@@ -241,6 +241,27 @@ let page_offset_in_dump is pn =
     | None -> None
   else page_offset_linear is.is_pagemap target
 
+(* ----- content checksums -----
+   FNV-1a digests at two granularities: per dumped page (what a lazy
+   page fetch must deliver intact) and per image file / whole image set
+   (what an eager transfer must deliver intact). The transfer layer
+   verifies these on arrival and retransmits on mismatch. *)
+
+let page_checksum is pn =
+  match page_offset_in_dump is pn with
+  | None -> None
+  | Some off ->
+    Some (Dapper_util.Bytebuf.fnv64 (String.sub is.is_pages off Layout.page_size))
+
+let file_checksums is =
+  List.map (fun (name, data) -> (name, Dapper_util.Bytebuf.fnv64 data)) (to_files is)
+
+let checksum is =
+  List.fold_left
+    (fun h (name, data) ->
+      Dapper_util.Bytebuf.fnv64_fold (Dapper_util.Bytebuf.fnv64_fold h name) data)
+    0xcbf29ce484222325L (to_files is)
+
 let read_page is pn =
   match page_offset_in_dump is pn with
   | Some off -> Some (String.sub is.is_pages off Layout.page_size)

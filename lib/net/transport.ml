@@ -1,4 +1,24 @@
-type page_stats = { mutable srv_pages : int; mutable srv_ns : float }
+open Dapper_util
+
+type page_stats = {
+  mutable srv_pages : int;
+  mutable srv_ns : float;
+  mutable srv_retransmits : int;
+}
+
+type tx_stats = {
+  mutable tx_attempts : int;
+  mutable tx_retransmits : int;
+  mutable tx_corrupt : int;
+  mutable tx_dropped : int;
+  mutable tx_fault_ns : float;
+}
+
+type retry = {
+  r_attempts : int;
+  r_backoff_ns : float;
+  r_multiplier : float;
+}
 
 type kind = Scp | Page_server
 
@@ -7,15 +27,17 @@ type t = {
   t_link : Link.t;
   t_name : string;
   t_cost_factor : float;  (* >= 1.0; congestion/retransmission multiplier *)
+  t_retry : retry option;
 }
 
 let scp link =
   { t_kind = Scp; t_link = link; t_name = "scp/" ^ link.Link.l_name;
-    t_cost_factor = 1.0 }
+    t_cost_factor = 1.0; t_retry = None }
 
 let page_server link =
   { t_kind = Page_server; t_link = link;
-    t_name = "page-server/" ^ link.Link.l_name; t_cost_factor = 1.0 }
+    t_name = "page-server/" ^ link.Link.l_name; t_cost_factor = 1.0;
+    t_retry = None }
 
 let degraded ~factor t =
   if factor < 1.0 then invalid_arg "Transport.degraded: factor < 1.0";
@@ -23,14 +45,36 @@ let degraded ~factor t =
     t_name = Printf.sprintf "%s (degraded x%g)" t.t_name factor;
     t_cost_factor = t.t_cost_factor *. factor }
 
+let retrying ?(attempts = 4) ?(backoff_ns = 2.0e6) ?(multiplier = 2.0) t =
+  if attempts < 1 then invalid_arg "Transport.retrying: attempts < 1";
+  if multiplier < 1.0 then invalid_arg "Transport.retrying: multiplier < 1.0";
+  { t with
+    t_name = Printf.sprintf "retrying[%d](%s)" attempts t.t_name;
+    t_retry = Some { r_attempts = attempts; r_backoff_ns = backoff_ns;
+                     r_multiplier = multiplier } }
+
 let name t = t.t_name
 let link t = t.t_link
 let is_lazy t = t.t_kind = Page_server
 
+let attempts t = match t.t_retry with Some r -> r.r_attempts | None -> 1
+
+(* Backoff before retry number [k] (0-based over failed attempts), on
+   the deterministic simulated clock: the delay is charged as latency,
+   never slept. *)
+let backoff_ns t k =
+  match t.t_retry with
+  | None -> 0.0
+  | Some r -> r.r_backoff_ns *. (r.r_multiplier ** float_of_int k)
+
 let transfer_ns t bytes = Link.transfer_ns t.t_link bytes *. t.t_cost_factor
 let page_fetch_ns t bytes = Link.page_fetch_ns t.t_link bytes *. t.t_cost_factor
 
-let fresh_page_stats () = { srv_pages = 0; srv_ns = 0.0 }
+let fresh_page_stats () = { srv_pages = 0; srv_ns = 0.0; srv_retransmits = 0 }
+
+let fresh_tx_stats () =
+  { tx_attempts = 0; tx_retransmits = 0; tx_corrupt = 0; tx_dropped = 0;
+    tx_fault_ns = 0.0 }
 
 let serve_pages t stats ~page_bytes fetch =
   if not (is_lazy t) then invalid_arg "Transport.serve_pages: not a lazy transport";
@@ -41,3 +85,142 @@ let serve_pages t stats ~page_bytes fetch =
       stats.srv_pages <- stats.srv_pages + 1;
       stats.srv_ns <- stats.srv_ns +. page_fetch_ns t page_bytes;
       Some data
+
+(* ----- checksummed transmission under the fault plane ----- *)
+
+(* One attempt at moving the named image files: every file is
+   individually exposed to the fault plane (drop a chunk mid-image,
+   corrupt bytes in flight, add latency), then verified against the
+   sender-side FNV-1a manifest. *)
+type attempt_outcome =
+  | Delivered of (string * string) list
+  | Lost of string         (* dropped mid-image *)
+  | Damaged of string      (* checksum mismatch on arrival *)
+
+let transmit_once ?fault ~stats ~manifest files cost =
+  let dropped = ref None in
+  let received =
+    List.map
+      (fun (name, data) ->
+        match Option.bind fault (fun f -> Fault.draw f Fault.Transfer_chunk) with
+        | Some Fault.Drop ->
+          if !dropped = None then dropped := Some name;
+          (name, data)
+        | Some (Fault.Corrupt salt) ->
+          let b = Bytes.of_string data in
+          Fault.corrupt_byte salt b;
+          (name, Bytes.to_string b)
+        | Some (Fault.Delay ns) ->
+          stats.tx_fault_ns <- stats.tx_fault_ns +. ns;
+          cost := !cost +. ns;
+          (name, data)
+        | Some Fault.Crash | None -> (name, data))
+      files
+  in
+  match !dropped with
+  | Some name ->
+    stats.tx_dropped <- stats.tx_dropped + 1;
+    Lost name
+  | None ->
+    let damaged =
+      List.find_opt
+        (fun (name, data) -> List.assoc name manifest <> Bytebuf.fnv64 data)
+        received
+    in
+    (match damaged with
+     | Some (name, _) ->
+       stats.tx_corrupt <- stats.tx_corrupt + 1;
+       Damaged name
+     | None -> Delivered received)
+
+let transmit t ?fault ~stats ~bytes files =
+  let manifest = List.map (fun (name, data) -> (name, Bytebuf.fnv64 data)) files in
+  let cost = ref 0.0 in
+  let max_attempts = attempts t in
+  let rec go k =
+    stats.tx_attempts <- stats.tx_attempts + 1;
+    cost := !cost +. transfer_ns t bytes;
+    match transmit_once ?fault ~stats ~manifest files cost with
+    | Delivered received -> Ok (received, !cost)
+    | (Lost _ | Damaged _) as failed ->
+      if k + 1 < max_attempts then begin
+        stats.tx_retransmits <- stats.tx_retransmits + 1;
+        let b = backoff_ns t k in
+        stats.tx_fault_ns <- stats.tx_fault_ns +. b;
+        cost := !cost +. b;
+        go (k + 1)
+      end
+      else
+        Error
+          (match failed with
+           | Lost name when max_attempts > 1 ->
+             Dapper_error.Transfer_timeout
+               (Printf.sprintf "image transfer dropped at %s; %d attempts exhausted on %s"
+                  name max_attempts t.t_name)
+           | Lost name ->
+             Dapper_error.Transfer_timeout
+               (Printf.sprintf "image transfer dropped at %s on %s" name t.t_name)
+           | Damaged name when max_attempts > 1 ->
+             Dapper_error.Transfer_timeout
+               (Printf.sprintf "%s failed its checksum; %d attempts exhausted on %s"
+                  name max_attempts t.t_name)
+           | Damaged name ->
+             Dapper_error.Checksum_mismatch
+               (Printf.sprintf "%s corrupted in flight on %s" name t.t_name)
+           | Delivered _ -> assert false)
+  in
+  go 0
+
+let fetch_page t ?fault stats ~page_bytes fetch pn =
+  if not (is_lazy t) then invalid_arg "Transport.fetch_page: not a lazy transport";
+  let max_attempts = attempts t in
+  let rec go k =
+    match Option.bind fault (fun f -> Fault.draw f Fault.Source_node) with
+    | Some Fault.Crash ->
+      Error
+        (Dapper_error.Source_lost
+           (Printf.sprintf "page server unreachable fetching page %d" pn))
+    | _ ->
+      (match fetch pn with
+       | None -> Ok None
+       | Some data ->
+         let checksum = Bytebuf.fnv64 (Bytes.to_string data) in
+         let charge () = stats.srv_ns <- stats.srv_ns +. page_fetch_ns t page_bytes in
+         let retry what =
+           charge ();  (* the failed round trip still cost a round trip *)
+           if k + 1 < max_attempts then begin
+             stats.srv_retransmits <- stats.srv_retransmits + 1;
+             let b = backoff_ns t k in
+             stats.srv_ns <- stats.srv_ns +. b;
+             go (k + 1)
+           end
+           else
+             Error
+               (Dapper_error.Transfer_timeout
+                  (Printf.sprintf "page %d %s; %d attempts exhausted on %s" pn what
+                     max_attempts t.t_name))
+         in
+         (match Option.bind fault (fun f -> Fault.draw f Fault.Page_fetch) with
+          | Some Fault.Drop -> retry "dropped"
+          | Some (Fault.Corrupt salt) ->
+            let damaged = Bytes.copy data in
+            Fault.corrupt_byte salt damaged;
+            if Bytebuf.fnv64 (Bytes.to_string damaged) <> checksum then
+              retry "failed its checksum"
+            else begin
+              (* the flip landed on an empty payload: delivered intact *)
+              charge ();
+              stats.srv_pages <- stats.srv_pages + 1;
+              Ok (Some damaged)
+            end
+          | Some (Fault.Delay ns) ->
+            stats.srv_ns <- stats.srv_ns +. ns;
+            charge ();
+            stats.srv_pages <- stats.srv_pages + 1;
+            Ok (Some data)
+          | Some Fault.Crash | None ->
+            charge ();
+            stats.srv_pages <- stats.srv_pages + 1;
+            Ok (Some data)))
+  in
+  go 0

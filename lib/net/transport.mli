@@ -8,15 +8,47 @@
     eager-transfer cost model; they differ in whether the destination
     may fault pages back through {!serve_pages}.
 
-    {!degraded} wraps any transport with a cost multiplier, modelling a
-    congested or lossy link (retransmissions inflate effective transfer
-    time); it composes, leaving room for retrying transports later. *)
+    Two composable wrappers model imperfect links:
+
+    - {!degraded} multiplies every cost by a factor (congestion, lossy
+      link);
+    - {!retrying} arms bounded retransmission with exponential backoff:
+      {!transmit} and {!fetch_page} verify every payload against an
+      FNV-1a checksum manifest and retransmit dropped or corrupted
+      payloads, charging each backoff to the deterministic simulated
+      clock. Retries exhausted surface as the retriable
+      [Dapper_error.Transfer_timeout].
+
+    Both transmission entry points accept an optional {!Fault.t}
+    schedule — the chaos plane decides which payloads are dropped,
+    corrupted or delayed; the transport implements detection and
+    recovery. *)
+
+open Dapper_util
 
 type t
 
 (** Per-session page-server accounting: pages served on demand from the
-    paused source, and the cumulative network time they cost. *)
-type page_stats = { mutable srv_pages : int; mutable srv_ns : float }
+    paused source, the cumulative network time they cost (including
+    injected delays and retry backoff), and how many fetches had to be
+    retransmitted. Allocate fresh per session ({!fresh_page_stats});
+    never share across sessions. *)
+type page_stats = {
+  mutable srv_pages : int;
+  mutable srv_ns : float;
+  mutable srv_retransmits : int;
+}
+
+(** Per-session eager-transfer accounting. [tx_fault_ns] is the latency
+    added by injected delays plus retry backoff — the "cost of chaos"
+    over a clean transfer. *)
+type tx_stats = {
+  mutable tx_attempts : int;
+  mutable tx_retransmits : int;
+  mutable tx_corrupt : int;    (** checksum mismatches detected on arrival *)
+  mutable tx_dropped : int;    (** transfers dropped mid-image *)
+  mutable tx_fault_ns : float;
+}
 
 (** Eager whole-image copy over [link]; no demand paging. *)
 val scp : Link.t -> t
@@ -27,8 +59,16 @@ val page_server : Link.t -> t
 
 (** [degraded ~factor t] costs [factor] times as much per transfer and
     per page fetch ([factor >= 1.0]; raises [Invalid_argument]
-    otherwise). *)
+    otherwise). Composes: nested factors multiply and [name] reflects
+    the nesting. *)
 val degraded : factor:float -> t -> t
+
+(** [retrying t] arms bounded retransmission: up to [attempts] tries per
+    transfer / per page (default 4), with [backoff_ns] (default 2 ms)
+    growing by [multiplier] (default 2.0) between tries, charged to the
+    simulated clock. Raises [Invalid_argument] for [attempts < 1] or
+    [multiplier < 1.0]. *)
+val retrying : ?attempts:int -> ?backoff_ns:float -> ?multiplier:float -> t -> t
 
 val name : t -> string
 val link : t -> Link.t
@@ -36,6 +76,9 @@ val link : t -> Link.t
 (** True when the transport serves pages on demand (restore should
     install a page source and defer full memory materialization). *)
 val is_lazy : t -> bool
+
+(** Tries per transfer: the retry policy's attempt bound, or 1. *)
+val attempts : t -> int
 
 (** Nanoseconds to move [bytes] of eager image over this transport. *)
 val transfer_ns : t -> int -> float
@@ -45,10 +88,47 @@ val transfer_ns : t -> int -> float
 val page_fetch_ns : t -> int -> float
 
 val fresh_page_stats : unit -> page_stats
+val fresh_tx_stats : unit -> tx_stats
 
 (** [serve_pages t stats ~page_bytes fetch] wraps a raw page-content
     lookup with this transport's accounting: every successful fetch
     bumps [stats.srv_pages] and charges [page_fetch_ns t page_bytes]
-    to [stats.srv_ns]. Raises [Invalid_argument] if [t] is not lazy. *)
+    to [stats.srv_ns]. Raises [Invalid_argument] if [t] is not lazy.
+    This is the post-commit demand-paging path; the fault-aware,
+    checksummed variant is {!fetch_page}. *)
 val serve_pages :
   t -> page_stats -> page_bytes:int -> (int -> bytes option) -> int -> bytes option
+
+(** [transmit t ~stats ~bytes files] moves the named image files over
+    the transport, simulating the wire: each file may be dropped,
+    corrupted or delayed by the [fault] schedule; arrival is verified
+    against a sender-side FNV-1a manifest; failed attempts are
+    retransmitted within the retry policy's bound with exponential
+    backoff. Returns the delivered files and the total nanoseconds
+    spent (transfer cost + injected delays + backoff). Errors:
+    [Transfer_timeout] (retries exhausted — retriable) or
+    [Checksum_mismatch] (corruption detected, no retry policy armed —
+    retriable at the session level). *)
+val transmit :
+  t ->
+  ?fault:Fault.t ->
+  stats:tx_stats ->
+  bytes:int ->
+  (string * string) list ->
+  ((string * string) list * float, Dapper_error.t) result
+
+(** [fetch_page t stats ~page_bytes fetch pn] is one fault-aware,
+    checksummed post-copy page fetch with bounded retransmission —
+    the page-drain path of the session's commit stage. [Ok None] means
+    the source genuinely has no such page (not a fault). Errors:
+    [Source_lost] when the fault plane crashes the source's page server
+    (the migration must roll back), [Transfer_timeout] when retries are
+    exhausted. Raises [Invalid_argument] if [t] is not lazy. *)
+val fetch_page :
+  t ->
+  ?fault:Fault.t ->
+  page_stats ->
+  page_bytes:int ->
+  (int -> bytes option) ->
+  int ->
+  (bytes option, Dapper_error.t) result

@@ -63,3 +63,18 @@ let patch_i64 buf off v =
     Bytes.set b i (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
   done;
   patch buf off (Bytes.to_string b)
+
+(* FNV-1a (64-bit). The canonical content digest of the tree: image
+   files, page payloads and transfer manifests all hash with it, so a
+   checksum computed on one side of a link is comparable on the other. *)
+let fnv64_offset = 0xcbf29ce484222325L
+let fnv64_prime = 0x100000001b3L
+
+let fnv64_fold h s =
+  let h = ref h in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv64_prime)
+    s;
+  !h
+
+let fnv64 s = fnv64_fold fnv64_offset s

@@ -31,3 +31,15 @@ val get_i64 : string -> int -> int64
 val patch_u8 : t -> int -> int -> unit
 val patch_u32 : t -> int -> int -> unit
 val patch_i64 : t -> int -> int64 -> unit
+
+(** {1 Content checksums}
+
+    FNV-1a (64-bit) — the tree's canonical content digest, used for
+    per-page and per-image checksums on image transfers. *)
+
+(** [fnv64 s] digests [s] from the standard offset basis. *)
+val fnv64 : string -> int64
+
+(** [fnv64_fold h s] continues a digest [h] over [s], for multi-part
+    payloads (file name + contents, page runs). *)
+val fnv64_fold : int64 -> string -> int64

@@ -1,4 +1,4 @@
-type stage = Pause | Dump | Recode | Transfer | Restore
+type stage = Pause | Dump | Recode | Transfer | Restore | Commit
 
 let stage_name = function
   | Pause -> "pause"
@@ -6,6 +6,7 @@ let stage_name = function
   | Recode -> "recode"
   | Transfer -> "transfer"
   | Restore -> "restore"
+  | Commit -> "commit"
 
 type t =
   | Pause_budget_exhausted
@@ -18,7 +19,12 @@ type t =
   | Layout_incompatible of string
   | Active_function of string
   | Transfer_failed of string
+  | Transfer_timeout of string
+  | Checksum_mismatch of string
   | Restore_failed of string
+  | Source_lost of string
+  | Node_lost of string
+  | Commit_failed of string
   | Verify_failed of string
 
 let to_string = function
@@ -33,7 +39,12 @@ let to_string = function
   | Layout_incompatible msg -> "layout incompatible: " ^ msg
   | Active_function f -> "function still active on a stack: " ^ f
   | Transfer_failed msg -> "transfer failed: " ^ msg
+  | Transfer_timeout msg -> "transfer timed out: " ^ msg
+  | Checksum_mismatch msg -> "checksum mismatch: " ^ msg
   | Restore_failed msg -> "restore failed: " ^ msg
+  | Source_lost msg -> "source lost: " ^ msg
+  | Node_lost msg -> "node lost: " ^ msg
+  | Commit_failed msg -> "commit failed: " ^ msg
   | Verify_failed msg -> "verification failed: " ^ msg
 
 let stage_of = function
@@ -41,14 +52,50 @@ let stage_of = function
   | Dump_failed _ -> Dump
   | Unwind_failed _ | Recode_failed _ | Shuffle_failed _ | Layout_incompatible _
   | Active_function _ | Verify_failed _ -> Recode
-  | Transfer_failed _ -> Transfer
-  | Restore_failed _ -> Restore
+  | Transfer_failed _ | Transfer_timeout _ | Checksum_mismatch _ -> Transfer
+  | Restore_failed _ | Node_lost _ -> Restore
+  | Source_lost _ | Commit_failed _ -> Commit
 
+(* Exhaustive on purpose: adding an error constructor must force a
+   decision here (no wildcard), because a misclassification either
+   retries a structural failure forever or abandons a recoverable one. *)
 let retriable = function
-  | Pause_budget_exhausted | Active_function _ -> true
-  | Not_at_equivalence_point _ | Process_exited | Dump_failed _ | Unwind_failed _
-  | Recode_failed _ | Shuffle_failed _ | Layout_incompatible _ | Transfer_failed _
-  | Restore_failed _ | Verify_failed _ -> false
+  | Pause_budget_exhausted -> true
+  | Active_function _ -> true
+  | Transfer_timeout _ -> true
+  | Checksum_mismatch _ -> true
+  | Node_lost _ -> true
+  | Not_at_equivalence_point _ -> false
+  | Process_exited -> false
+  | Dump_failed _ -> false
+  | Unwind_failed _ -> false
+  | Recode_failed _ -> false
+  | Shuffle_failed _ -> false
+  | Layout_incompatible _ -> false
+  | Transfer_failed _ -> false
+  | Restore_failed _ -> false
+  | Source_lost _ -> false
+  | Commit_failed _ -> false
+  | Verify_failed _ -> false
+
+let examples =
+  [ Pause_budget_exhausted;
+    Not_at_equivalence_point (1, 0x400000L);
+    Process_exited;
+    Dump_failed "example";
+    Unwind_failed "example";
+    Recode_failed "example";
+    Shuffle_failed "example";
+    Layout_incompatible "example";
+    Active_function "example";
+    Transfer_failed "example";
+    Transfer_timeout "example";
+    Checksum_mismatch "example";
+    Restore_failed "example";
+    Source_lost "example";
+    Node_lost "example";
+    Commit_failed "example";
+    Verify_failed "example" ]
 
 exception Error of t
 

@@ -9,8 +9,11 @@
     and convert it to a [result] at their boundary with {!protect}. *)
 
 (** The pipeline stage an error belongs to, mirroring the session state
-    machine (Paused -> Dumped -> Recoded -> Transferred -> Restored). *)
-type stage = Pause | Dump | Recode | Transfer | Restore
+    machine (Paused -> Dumped -> Recoded -> Transferred -> Restored ->
+    Committed). [Commit] is the two-phase-commit acknowledgement: the
+    destination drains outstanding lazy pages and verifies its state
+    before the paused source is released. *)
+type stage = Pause | Dump | Recode | Transfer | Restore | Commit
 
 val stage_name : stage -> string
 
@@ -30,7 +33,26 @@ type t =
   | Active_function of string
       (** DSU: a patched function is live on some stack. *)
   | Transfer_failed of string  (** Image transfer between nodes failed. *)
+  | Transfer_timeout of string
+      (** A transfer (or page fetch) exhausted its bounded retries; the
+          link may recover, so the whole stage is worth re-attempting. *)
+  | Checksum_mismatch of string
+      (** A received payload failed its FNV-1a checksum — corruption in
+          flight; transient (a retransmission delivers clean bytes). *)
   | Restore_failed of string  (** Image could not be materialized. *)
+  | Source_lost of string
+      (** The source's page server became unreachable during post-copy
+          paging, before the destination was committed. Structural for
+          this session: the restore is aborted and the paused source
+          (still held by its supervisor) is resumed. *)
+  | Node_lost of string
+      (** A destination node died mid-eviction. The migration rolls
+          back; retriable because the scheduler can re-run the eviction
+          on another node. *)
+  | Commit_failed of string
+      (** The destination's verified-restore acknowledgement failed (its
+          observable state does not match the paused source). The source
+          resumes; the half-restored destination is discarded. *)
   | Verify_failed of string
       (** Conformance verification found a violated invariant: a corrupt
           stack map (static verifier) or a state divergence between the
@@ -45,9 +67,15 @@ val stage_of : t -> stage
 
 (** [retriable e] is true for transient errors where letting the source
     run further and re-attempting the stage can succeed (pause-budget
-    exhaustion, a still-active function); false for structural errors
-    (arch mismatch, corrupt image) that will fail identically again. *)
+    exhaustion, a still-active function, a timed-out or corrupted
+    transfer, a lost destination node); false for structural errors
+    (arch mismatch, corrupt image, a lost source) that will fail
+    identically again. The implementation is an exhaustive match — a
+    new constructor does not compile until it is classified. *)
 val retriable : t -> bool
+
+(** One value per constructor, for exhaustive classification tests. *)
+val examples : t list
 
 (** Internal carrier, raised inside [lib/criu]/[lib/core] and converted
     back to a [result] at public boundaries. It must not escape them. *)

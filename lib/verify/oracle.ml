@@ -225,6 +225,7 @@ let run ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(max_points = max_int) ~src
       let s = step "recode" (Session.recode s) in
       let s = step "transfer" (Session.transfer s) in
       let s = step "restore" (Session.restore s) in
+      let s = step "commit" (Session.commit s) in
       let q = (Session.finish s).Session.r_process in
       incr migrations;
       let prefix = snap_src.Process.sn_stdout in

@@ -117,6 +117,46 @@ let test_fleet_eviction_retries () =
   let easy = Fleet.run fleet_config (fleet_jobs ()) in
   check Alcotest.int "pausable jobs never retry" 0 easy.Fleet.f_eviction_retries
 
+let test_fleet_node_loss () =
+  (* every eviction attempt kills its destination node: the fleet loses
+     all Pi slots, loses no jobs, and records a recovery per attempt *)
+  let jobs = fleet_jobs () in
+  let app = (List.hd jobs).Dapper_codegen.Link.cp_app in
+  let st =
+    Fleet.run
+      { fleet_config with
+        Fleet.f_fault =
+          Some
+            (Dapper_util.Fault.make ~seed:1
+               { Dapper_util.Fault.calm with Dapper_util.Fault.fs_kill_node = 1.0 }) }
+      jobs
+  in
+  check Alcotest.int "every pi slot dies" (fleet_config.Fleet.f_rpis * fleet_config.Fleet.f_rpi_slots_each)
+    st.Fleet.f_nodes_lost;
+  check Alcotest.int "dead nodes host no migrations" 0 st.Fleet.f_evictions;
+  check Alcotest.bool "jobs still complete on the xeon" true (st.Fleet.f_jobs_done > 0);
+  check Alcotest.bool "recoveries charged to the job" true
+    (List.mem_assoc app st.Fleet.f_recoveries)
+
+let test_fleet_chaos_recovers () =
+  (* a flaky but survivable fault plane with a retrying transport: the
+     fleet keeps making progress and books every abandoned eviction as a
+     per-job recovery *)
+  let st =
+    Fleet.run
+      { fleet_config with
+        Fleet.f_transport =
+          Dapper_net.Transport.retrying
+            (Dapper_net.Transport.scp Dapper_net.Link.infiniband);
+        f_fault = Some (Dapper_util.Fault.make ~seed:7 (Dapper_util.Fault.uniform 0.15)) }
+      (fleet_jobs ())
+  in
+  check Alcotest.bool "jobs complete under chaos" true (st.Fleet.f_jobs_done > 0);
+  let recovered = List.fold_left (fun a (_, n) -> a + n) 0 st.Fleet.f_recoveries in
+  check Alcotest.int "recoveries = retries + structural failures"
+    (st.Fleet.f_eviction_retries + st.Fleet.f_eviction_failures)
+    recovered
+
 let suites =
   [ ( "cluster",
       [ Alcotest.test_case "baseline sane" `Quick test_baseline_sane;
@@ -128,4 +168,7 @@ let suites =
           test_fleet_eviction_beats_baseline;
         Alcotest.test_case "fleet: edge configurations" `Quick test_fleet_edge_configs;
         Alcotest.test_case "fleet: transient eviction failures retried" `Slow
-          test_fleet_eviction_retries ] ) ]
+          test_fleet_eviction_retries;
+        Alcotest.test_case "fleet: node loss survived" `Slow test_fleet_node_loss;
+        Alcotest.test_case "fleet: chaos recovery accounting" `Slow
+          test_fleet_chaos_recovers ] ) ]

@@ -20,4 +20,5 @@ let () =
      @ Test_session.suites
      @ Test_stackmap_invariants.suites
      @ Test_indexes.suites
-     @ Test_verify.suites)
+     @ Test_verify.suites
+     @ Test_chaos.suites)

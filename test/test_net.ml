@@ -1,4 +1,6 @@
 open Dapper_net
+module Fault = Dapper_util.Fault
+module Derr = Dapper_util.Dapper_error
 
 let check = Alcotest.check
 
@@ -28,9 +30,168 @@ let test_exec_speed_ratio () =
   let ratio = Node.exec_ns Node.rpi instrs /. Node.exec_ns Node.xeon instrs in
   check Alcotest.bool "pi ~2.8x slower" true (ratio > 2.5 && ratio < 3.1)
 
+(* ----- wrapper composition ----- *)
+
+let test_degraded_composition () =
+  let scp = Transport.scp Link.infiniband in
+  let nested = Transport.degraded ~factor:2.0 (Transport.degraded ~factor:3.0 scp) in
+  let bytes = 1 lsl 20 in
+  check Alcotest.bool "nested factors multiply" true
+    (Transport.transfer_ns nested bytes = 6.0 *. Transport.transfer_ns scp bytes);
+  check Alcotest.bool "page fetches degrade too" true
+    (Transport.page_fetch_ns nested 4096 = 6.0 *. Transport.page_fetch_ns scp 4096);
+  check Alcotest.string "name reflects the nesting"
+    "scp/infiniband (degraded x3) (degraded x2)" (Transport.name nested);
+  check Alcotest.bool "factor < 1 rejected" true
+    (match Transport.degraded ~factor:0.99 scp with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_retrying_policy () =
+  let scp = Transport.scp Link.infiniband in
+  check Alcotest.int "bare transport: one attempt" 1 (Transport.attempts scp);
+  let r = Transport.retrying scp in
+  check Alcotest.int "default four attempts" 4 (Transport.attempts r);
+  check Alcotest.string "name reflects the policy" "retrying[4](scp/infiniband)"
+    (Transport.name r);
+  check Alcotest.string "composes with degradation"
+    "retrying[4](scp/infiniband (degraded x2))"
+    (Transport.name (Transport.retrying (Transport.degraded ~factor:2.0 scp)));
+  check Alcotest.bool "attempts < 1 rejected" true
+    (match Transport.retrying ~attempts:0 scp with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  check Alcotest.bool "multiplier < 1 rejected" true
+    (match Transport.retrying ~multiplier:0.5 scp with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* ----- checksummed transmission under the fault plane ----- *)
+
+let files = [ ("a.img", "aaaa-payload"); ("b.img", "bbbb-payload") ]
+
+let test_transmit_clean () =
+  let t = Transport.scp Link.infiniband in
+  let stats = Transport.fresh_tx_stats () in
+  match Transport.transmit t ~stats ~bytes:4096 files with
+  | Error e -> Alcotest.fail (Derr.to_string e)
+  | Ok (received, ns) ->
+    check Alcotest.bool "delivered verbatim" true (received = files);
+    check Alcotest.bool "cost is exactly one transfer" true
+      (ns = Transport.transfer_ns t 4096);
+    check Alcotest.int "one attempt" 1 stats.Transport.tx_attempts;
+    check Alcotest.int "no retransmits" 0 stats.Transport.tx_retransmits;
+    check Alcotest.bool "no fault latency" true (stats.Transport.tx_fault_ns = 0.0)
+
+let test_transmit_drop_and_recovery () =
+  (* certain drop, no retry policy: the transfer times out (retriable) *)
+  let t = Transport.scp Link.infiniband in
+  let stats = Transport.fresh_tx_stats () in
+  let fault = Fault.make ~seed:5 { Fault.calm with Fault.fs_drop = 1.0 } in
+  (match Transport.transmit t ~fault ~stats ~bytes:4096 files with
+   | Error (Derr.Transfer_timeout _ as e) ->
+     check Alcotest.bool "timeout is retriable" true (Derr.retriable e)
+   | Error e -> Alcotest.fail ("wrong error: " ^ Derr.to_string e)
+   | Ok _ -> Alcotest.fail "certain drop cannot deliver");
+  check Alcotest.int "drop recorded" 1 stats.Transport.tx_dropped;
+  (* certain drop, three attempts: every attempt fails, backoff charged *)
+  let stats = Transport.fresh_tx_stats () in
+  let fault = Fault.make ~seed:5 { Fault.calm with Fault.fs_drop = 1.0 } in
+  (match
+     Transport.transmit (Transport.retrying ~attempts:3 t) ~fault ~stats
+       ~bytes:4096 files
+   with
+   | Error (Derr.Transfer_timeout _) -> ()
+   | Error e -> Alcotest.fail ("wrong error: " ^ Derr.to_string e)
+   | Ok _ -> Alcotest.fail "certain drop cannot deliver");
+  check Alcotest.int "three attempts" 3 stats.Transport.tx_attempts;
+  check Alcotest.int "two retransmissions" 2 stats.Transport.tx_retransmits;
+  check Alcotest.bool "backoff charged as latency" true
+    (stats.Transport.tx_fault_ns > 0.0)
+
+let test_transmit_corruption_detected () =
+  let t = Transport.scp Link.infiniband in
+  (* certain corruption, no retry policy: checksum mismatch surfaces *)
+  let stats = Transport.fresh_tx_stats () in
+  let fault = Fault.make ~seed:7 { Fault.calm with Fault.fs_corrupt = 1.0 } in
+  (match Transport.transmit t ~fault ~stats ~bytes:4096 files with
+   | Error (Derr.Checksum_mismatch _ as e) ->
+     check Alcotest.bool "mismatch is retriable" true (Derr.retriable e)
+   | Error e -> Alcotest.fail ("wrong error: " ^ Derr.to_string e)
+   | Ok _ -> Alcotest.fail "corruption must not deliver");
+  check Alcotest.bool "corruption detected" true (stats.Transport.tx_corrupt > 0)
+
+let test_transmit_delay_survives () =
+  (* certain delay: delivery succeeds, the added latency is accounted *)
+  let t = Transport.scp Link.infiniband in
+  let stats = Transport.fresh_tx_stats () in
+  let fault =
+    Fault.make ~seed:9
+      { Fault.calm with Fault.fs_delay = 1.0; fs_delay_ns = 7.0e6 }
+  in
+  match Transport.transmit t ~fault ~stats ~bytes:4096 files with
+  | Error e -> Alcotest.fail (Derr.to_string e)
+  | Ok (received, ns) ->
+    check Alcotest.bool "delivered verbatim" true (received = files);
+    (* one 7 ms delay per file *)
+    check Alcotest.bool "delays charged to the wire time" true
+      (abs_float (ns -. (Transport.transfer_ns t 4096 +. 14.0e6)) < 1.0);
+    check Alcotest.bool "delays accounted as fault latency" true
+      (stats.Transport.tx_fault_ns = 14.0e6)
+
+(* ----- fault-aware page fetches ----- *)
+
+let page = Bytes.make 4096 'p'
+let fetch pn = if pn = 7 then Some (Bytes.copy page) else None
+
+let test_fetch_page_paths () =
+  let t = Transport.retrying ~attempts:3 (Transport.page_server Link.infiniband) in
+  let stats = Transport.fresh_page_stats () in
+  (* clean fetch *)
+  (match Transport.fetch_page t stats ~page_bytes:4096 fetch 7 with
+   | Ok (Some data) -> check Alcotest.bool "page intact" true (Bytes.equal data page)
+   | _ -> Alcotest.fail "clean fetch must succeed");
+  check Alcotest.int "one page served" 1 stats.Transport.srv_pages;
+  (* a missing page is not a fault *)
+  (match Transport.fetch_page t stats ~page_bytes:4096 fetch 8 with
+   | Ok None -> ()
+   | _ -> Alcotest.fail "missing page must be Ok None");
+  (* certain drop: retries then times out, retransmissions counted *)
+  let fault = Fault.make ~seed:3 { Fault.calm with Fault.fs_drop = 1.0 } in
+  (match Transport.fetch_page t ~fault stats ~page_bytes:4096 fetch 7 with
+   | Error (Derr.Transfer_timeout _) -> ()
+   | Error e -> Alcotest.fail ("wrong error: " ^ Derr.to_string e)
+   | Ok _ -> Alcotest.fail "certain drop cannot deliver");
+  check Alcotest.int "two retransmissions" 2 stats.Transport.srv_retransmits;
+  (* source crash: the page server is gone; structural, migration must
+     roll back rather than retry against a dead node *)
+  let fault = Fault.make ~seed:3 { Fault.calm with Fault.fs_crash_source = 1.0 } in
+  (match Transport.fetch_page t ~fault stats ~page_bytes:4096 fetch 7 with
+   | Error (Derr.Source_lost _ as e) ->
+     check Alcotest.bool "source loss is structural" true (not (Derr.retriable e))
+   | Error e -> Alcotest.fail ("wrong error: " ^ Derr.to_string e)
+   | Ok _ -> Alcotest.fail "crashed source cannot serve");
+  (* eager transports have no page path *)
+  check Alcotest.bool "eager transport rejected" true
+    (match
+       Transport.fetch_page (Transport.scp Link.infiniband) stats ~page_bytes:4096
+         fetch 7
+     with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
 let suites =
   [ ( "net",
       [ Alcotest.test_case "link transfer math" `Quick test_link_transfer_math;
         Alcotest.test_case "page fetch latency" `Quick test_page_fetch_latency_dominated;
         Alcotest.test_case "node power model" `Quick test_node_power_model;
-        Alcotest.test_case "exec speed ratio" `Quick test_exec_speed_ratio ] ) ]
+        Alcotest.test_case "exec speed ratio" `Quick test_exec_speed_ratio;
+        Alcotest.test_case "degraded composes" `Quick test_degraded_composition;
+        Alcotest.test_case "retrying policy" `Quick test_retrying_policy;
+        Alcotest.test_case "transmit: clean" `Quick test_transmit_clean;
+        Alcotest.test_case "transmit: drop + recovery" `Quick
+          test_transmit_drop_and_recovery;
+        Alcotest.test_case "transmit: corruption detected" `Quick
+          test_transmit_corruption_detected;
+        Alcotest.test_case "transmit: delay survives" `Quick test_transmit_delay_survives;
+        Alcotest.test_case "fetch_page: fault paths" `Quick test_fetch_page_paths ] ) ]

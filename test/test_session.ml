@@ -4,6 +4,7 @@ open Dapper
 module Link = Dapper_codegen.Link
 module Netlink = Dapper_net.Link
 module Derr = Dapper_util.Dapper_error
+module Fault = Dapper_util.Fault
 module Oracle = Dapper_verify.Oracle
 
 let check = Alcotest.check
@@ -40,8 +41,8 @@ let test_run_happy_path () =
     let stages = List.map (fun r -> r.Session.sr_stage) (Session.stage_log st) in
     check
       Alcotest.(list string)
-      "all five stages in order"
-      [ "pause"; "dump"; "recode"; "transfer"; "restore" ]
+      "all six stages in order"
+      [ "pause"; "dump"; "recode"; "transfer"; "restore"; "commit" ]
       (List.map Derr.stage_name stages);
     List.iter
       (fun r ->
@@ -131,6 +132,7 @@ let test_stepwise_typed_pipeline () =
   check Alcotest.int "three stages logged" 3 (List.length (Session.stage_log s));
   let s = unwrap (Session.transfer s) in
   let s = unwrap (Session.restore s) in
+  let s = unwrap (Session.commit s) in
   let t = Session.times s in
   check Alcotest.bool "every phase has a positive cost" true
     (t.Session.t_checkpoint_ms > 0.0 && t.Session.t_recode_ms > 0.0
@@ -206,6 +208,153 @@ let test_transport_costs () =
   check Alcotest.int "only present pages counted" 2 stats.Transport.srv_pages;
   check Alcotest.bool "serving time accumulated" true (stats.Transport.srv_ns > 0.0)
 
+(* ----- two-phase commit ----- *)
+
+(* The native ground truth for the compute program on its source ISA. *)
+let native_x86 c =
+  let p = Process.load c.Link.cp_x86 in
+  match Process.run_to_completion p ~fuel:50_000_000 with
+  | Process.Exited_run v -> (v, Process.stdout_contents p)
+  | _ -> Alcotest.fail "native run failed"
+
+(* After a rollback the source must be running and oracle-identical to
+   an unmigrated twin: same exit code, same output. *)
+let assert_source_unharmed ~what p (expected_code, expected_out) =
+  check Alcotest.bool (what ^ ": source resumed") true
+    (not (Process.all_quiescent p));
+  match Process.run_to_completion p ~fuel:50_000_000 with
+  | Process.Exited_run v ->
+    check Alcotest.bool (what ^ ": exit preserved") true (Int64.equal v expected_code);
+    check Alcotest.string (what ^ ": output preserved") expected_out
+      (Process.stdout_contents p)
+  | _ -> Alcotest.fail (what ^ ": source did not finish")
+
+let test_injected_destination_failure_rolls_back () =
+  let c = Registry_helpers.compute () in
+  let expected = native_x86 c in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:120_000);
+  let cfg =
+    { (config_for c) with
+      Session.cfg_fault =
+        Some (Fault.make ~seed:11 { Fault.calm with Fault.fs_fail_restore = 1.0 }) }
+  in
+  (match Session.run cfg p with
+   | Error (Derr.Restore_failed _) -> ()
+   | Error e -> Alcotest.fail ("unexpected error: " ^ Derr.to_string e)
+   | Ok _ -> Alcotest.fail "a dead destination cannot be restored to");
+  assert_source_unharmed ~what:"destination failure" p expected
+
+let test_transfer_fault_rolls_back () =
+  let c = Registry_helpers.compute () in
+  let expected = native_x86 c in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:120_000);
+  let cfg =
+    { (config_for c) with
+      Session.cfg_fault =
+        Some (Fault.make ~seed:12 { Fault.calm with Fault.fs_drop = 1.0 }) }
+  in
+  (match Session.run cfg p with
+   | Error (Derr.Transfer_timeout _ as e) ->
+     check Alcotest.bool "timeout is retriable" true (Derr.retriable e)
+   | Error e -> Alcotest.fail ("unexpected error: " ^ Derr.to_string e)
+   | Ok _ -> Alcotest.fail "a fully dropped transfer cannot complete");
+  assert_source_unharmed ~what:"transfer fault" p expected
+
+(* Abandon a stepwise session after each of pause/dump/recode/transfer:
+   rollback at every stage boundary must leave the source running and
+   indistinguishable from an unmigrated twin. *)
+let test_rollback_at_every_stage_boundary () =
+  let c = Registry_helpers.compute () in
+  let expected = native_x86 c in
+  let unwrap = function Ok v -> v | Error e -> Alcotest.fail (Derr.to_string e) in
+  List.iter
+    (fun n ->
+      let p = Process.load c.Link.cp_x86 in
+      ignore (Process.run p ~max_instrs:120_000);
+      let s = unwrap (Session.pause (Session.start (config_for c) p)) in
+      if n = 1 then Session.rollback s
+      else begin
+        let s = unwrap (Session.dump s) in
+        if n = 2 then Session.rollback s
+        else begin
+          let s = unwrap (Session.recode s) in
+          if n = 3 then Session.rollback s
+          else begin
+            let s = unwrap (Session.transfer s) in
+            Session.rollback s
+          end
+        end
+      end;
+      assert_source_unharmed ~what:(Printf.sprintf "boundary %d" n) p expected)
+    [ 1; 2; 3; 4 ]
+
+let lazy_config c =
+  { (config_for c) with
+    Session.cfg_transport = Transport.page_server Netlink.infiniband }
+
+let test_commit_drain () =
+  let c = Registry_helpers.compute () in
+  let expected_code, expected_out =
+    let p = Process.load c.Link.cp_arm in
+    match Process.run_to_completion p ~fuel:50_000_000 with
+    | Process.Exited_run v -> (v, Process.stdout_contents p)
+    | _ -> Alcotest.fail "native run failed"
+  in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:120_000);
+  let prefix = Process.stdout_contents p in
+  let cfg = { (lazy_config c) with Session.cfg_commit_drain = true } in
+  match Session.run cfg p with
+  | Error e -> Alcotest.fail (Derr.to_string e)
+  | Ok st ->
+    let r = Session.finish st in
+    check Alcotest.bool "pages were drained at commit" true (r.Session.r_drained > 0);
+    let stats = Option.get r.Session.r_page_server in
+    check Alcotest.bool "drain accounted to the page server" true
+      (stats.Transport.srv_pages >= r.Session.r_drained);
+    let before = stats.Transport.srv_pages in
+    (match Process.run_to_completion r.Session.r_process ~fuel:50_000_000 with
+     | Process.Exited_run v ->
+       check Alcotest.bool "exit equal" true (Int64.equal v expected_code);
+       check Alcotest.string "out equal" expected_out
+         (prefix ^ Process.stdout_contents r.Session.r_process)
+     | _ -> Alcotest.fail "drained destination did not finish");
+    (* fully drained: running the destination needs no more source pages *)
+    check Alcotest.int "no post-commit demand paging" before stats.Transport.srv_pages
+
+(* Two sequential sessions must not share page-server or transfer
+   accounting: counters are allocated per session, so the second
+   migration's stats reflect only its own work. *)
+let test_stats_fresh_per_session () =
+  let c = Registry_helpers.compute () in
+  let run_lazy () =
+    let p = Process.load c.Link.cp_x86 in
+    ignore (Process.run p ~max_instrs:120_000);
+    match Session.run (lazy_config c) p with
+    | Error e -> Alcotest.fail (Derr.to_string e)
+    | Ok st ->
+      let r = Session.finish st in
+      (match Process.run_to_completion r.Session.r_process ~fuel:50_000_000 with
+       | Process.Exited_run _ -> ()
+       | _ -> Alcotest.fail "destination did not finish");
+      r
+  in
+  let r1 = run_lazy () in
+  let r2 = run_lazy () in
+  let s1 = Option.get r1.Session.r_page_server in
+  let s2 = Option.get r2.Session.r_page_server in
+  check Alcotest.bool "distinct page-server stats records" true (s1 != s2);
+  check Alcotest.bool "distinct transfer stats records" true
+    (r1.Session.r_transfer != r2.Session.r_transfer);
+  check Alcotest.bool "pages were demand-fetched" true (s1.Transport.srv_pages > 0);
+  check Alcotest.int "second session starts from zero" s1.Transport.srv_pages
+    s2.Transport.srv_pages;
+  check Alcotest.int "one transfer attempt each" 1 r1.Session.r_transfer.Transport.tx_attempts;
+  check Alcotest.int "no cross-session attempt accumulation" 1
+    r2.Session.r_transfer.Transport.tx_attempts
+
 (* ----- forced migration at every equivalence point -----
 
    The oracle advances a fresh twin to each dynamic equivalence point of
@@ -272,6 +421,13 @@ let suites =
         Alcotest.test_case "stepwise typed pipeline" `Quick test_stepwise_typed_pipeline;
         Alcotest.test_case "retry combinator" `Quick test_retry_combinator;
         Alcotest.test_case "transport costs + accounting" `Quick test_transport_costs;
+        Alcotest.test_case "injected destination failure rolls back" `Quick
+          test_injected_destination_failure_rolls_back;
+        Alcotest.test_case "transfer fault rolls back" `Quick test_transfer_fault_rolls_back;
+        Alcotest.test_case "rollback at every stage boundary" `Quick
+          test_rollback_at_every_stage_boundary;
+        Alcotest.test_case "commit drains outstanding pages" `Quick test_commit_drain;
+        Alcotest.test_case "stats fresh per session" `Quick test_stats_fresh_per_session;
         Alcotest.test_case "forced migration at every equivalence point" `Quick
           test_migration_at_every_eqpoint;
         Alcotest.test_case "migration deterministic (images + cost stats)" `Quick

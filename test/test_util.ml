@@ -71,6 +71,131 @@ let test_bytebuf_roundtrip () =
   check Alcotest.int "u32" 0xDEADBEEF (Bytebuf.get_u32 s 3);
   check Alcotest.bool "i64" true (Int64.equal (-42L) (Bytebuf.get_i64 s 7))
 
+let test_fnv64 () =
+  (* empty string digests to the FNV-1a offset basis *)
+  check Alcotest.bool "empty = offset basis" true
+    (Int64.equal (Bytebuf.fnv64 "") 0xcbf29ce484222325L);
+  check Alcotest.bool "different data, different digest" true
+    (not (Int64.equal (Bytebuf.fnv64 "abc") (Bytebuf.fnv64 "abd")));
+  (* folding is composition: hashing "ab" then "cd" = hashing "abcd" *)
+  check Alcotest.bool "fold composes" true
+    (Int64.equal
+       (Bytebuf.fnv64_fold (Bytebuf.fnv64 "ab") "cd")
+       (Bytebuf.fnv64 "abcd"))
+
+(* ----- unified error classification -----
+
+   [Dapper_error.examples] carries one value per constructor and
+   [retriable] is an exhaustive match, so this test plus the compiler
+   pins the transient/structural classification of every error: adding
+   a constructor breaks the library match AND this expectation. *)
+
+let test_error_classification () =
+  let expect : Dapper_error.t -> bool = function
+    (* transient: worth retrying *)
+    | Dapper_error.Pause_budget_exhausted
+    | Dapper_error.Active_function _
+    | Dapper_error.Transfer_timeout _
+    | Dapper_error.Checksum_mismatch _
+    | Dapper_error.Node_lost _ -> true
+    (* structural: retrying cannot help *)
+    | Dapper_error.Not_at_equivalence_point _
+    | Dapper_error.Process_exited
+    | Dapper_error.Dump_failed _
+    | Dapper_error.Unwind_failed _
+    | Dapper_error.Recode_failed _
+    | Dapper_error.Shuffle_failed _
+    | Dapper_error.Layout_incompatible _
+    | Dapper_error.Transfer_failed _
+    | Dapper_error.Restore_failed _
+    | Dapper_error.Source_lost _
+    | Dapper_error.Commit_failed _
+    | Dapper_error.Verify_failed _ -> false
+  in
+  check Alcotest.int "one example per constructor" 17
+    (List.length Dapper_error.examples);
+  List.iter
+    (fun e ->
+      check Alcotest.bool (Dapper_error.to_string e) (expect e)
+        (Dapper_error.retriable e))
+    Dapper_error.examples
+
+let test_error_stages () =
+  let stage e = Dapper_error.stage_name (Dapper_error.stage_of e) in
+  check Alcotest.string "timeout is a transfer error" "transfer"
+    (stage (Dapper_error.Transfer_timeout "x"));
+  check Alcotest.string "checksum mismatch is a transfer error" "transfer"
+    (stage (Dapper_error.Checksum_mismatch "x"));
+  check Alcotest.string "node loss strikes at restore" "restore"
+    (stage (Dapper_error.Node_lost "x"));
+  check Alcotest.string "source loss strikes at commit" "commit"
+    (stage (Dapper_error.Source_lost "x"));
+  check Alcotest.string "commit failure" "commit"
+    (stage (Dapper_error.Commit_failed "x"));
+  (* every example renders and classifies without raising *)
+  List.iter
+    (fun e ->
+      check Alcotest.bool "non-empty rendering" true
+        (String.length (Dapper_error.to_string e) > 0);
+      ignore (Dapper_error.stage_of e))
+    Dapper_error.examples
+
+(* ----- the chaos plane ----- *)
+
+let payload_sites = [ Fault.Transfer_chunk; Fault.Page_fetch ]
+let node_sites = [ Fault.Source_node; Fault.Dest_restore; Fault.Dest_node ]
+
+let test_fault_determinism () =
+  let draw_all f =
+    List.init 64 (fun i ->
+        Fault.draw f (List.nth (payload_sites @ node_sites) (i mod 5)))
+  in
+  let a = Fault.make ~seed:42 (Fault.uniform 0.5) in
+  let b = Fault.make ~seed:42 (Fault.uniform 0.5) in
+  check Alcotest.bool "same seed, same schedule" true (draw_all a = draw_all b);
+  check Alcotest.bool "same seed, same log" true (Fault.log a = Fault.log b);
+  let c = Fault.make ~seed:43 (Fault.uniform 0.5) in
+  check Alcotest.bool "different seed, different schedule" true
+    (draw_all a <> draw_all c)
+
+let test_fault_calm_and_certain () =
+  let calm = Fault.make ~seed:1 Fault.calm in
+  List.iter
+    (fun site ->
+      for _ = 1 to 50 do
+        check Alcotest.bool "calm never fires" true (Fault.draw calm site = None)
+      done)
+    (payload_sites @ node_sites);
+  check Alcotest.int "calm injects nothing" 0 (Fault.injected calm);
+  let certain =
+    Fault.make ~seed:1
+      { Fault.calm with Fault.fs_drop = 1.0; fs_crash_source = 1.0 }
+  in
+  check Alcotest.bool "certain drop" true
+    (Fault.draw certain Fault.Transfer_chunk = Some Fault.Drop);
+  check Alcotest.bool "certain crash" true
+    (Fault.draw certain Fault.Source_node = Some Fault.Crash);
+  check Alcotest.int "both injections logged" 2 (Fault.injected certain);
+  check Alcotest.bool "uniform validates probability" true
+    (match Fault.uniform 1.5 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_fault_corrupt_byte () =
+  let data = Bytes.of_string (String.make 64 '\x00') in
+  Fault.corrupt_byte 17L data;
+  let flipped =
+    List.length
+      (List.filter (fun i -> Bytes.get data i <> '\x00')
+         (List.init (Bytes.length data) Fun.id))
+  in
+  check Alcotest.int "exactly one byte flipped" 1 flipped;
+  (* deterministic in the salt, and a no-op on empty payloads *)
+  let again = Bytes.of_string (String.make 64 '\x00') in
+  Fault.corrupt_byte 17L again;
+  check Alcotest.bool "salt-deterministic" true (Bytes.equal data again);
+  Fault.corrupt_byte 17L Bytes.empty
+
 let qcheck_json_int_roundtrip =
   QCheck.Test.make ~name:"json int64 roundtrip" ~count:200 QCheck.int64 (fun v ->
       Json.of_string (Json.to_string (Json.Int v)) = Json.Int v)
@@ -89,5 +214,12 @@ let suites =
         Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
         Alcotest.test_case "rng permutation" `Quick test_rng_permutation;
         Alcotest.test_case "bytebuf roundtrip" `Quick test_bytebuf_roundtrip;
+        Alcotest.test_case "fnv64 digests" `Quick test_fnv64;
+        Alcotest.test_case "error classification exhaustive" `Quick
+          test_error_classification;
+        Alcotest.test_case "error stages" `Quick test_error_stages;
+        Alcotest.test_case "fault schedule determinism" `Quick test_fault_determinism;
+        Alcotest.test_case "fault calm/certain specs" `Quick test_fault_calm_and_certain;
+        Alcotest.test_case "fault corrupt_byte" `Quick test_fault_corrupt_byte;
         QCheck_alcotest.to_alcotest qcheck_json_int_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip ] ) ]
