@@ -15,15 +15,29 @@ let () =
     Experiments.all ();
     Micro.run ()
   | _ :: "micro" :: flags ->
-    (* `micro [--json] [--smoke]`: the bechamel suite, optionally writing
-       machine-readable results to BENCH_RESULTS.json; --smoke shrinks
-       the measurement quota for CI. *)
-    (match List.filter (fun f -> f <> "--json" && f <> "--smoke") flags with
-     | [] -> ()
-     | unknown :: _ ->
-       Printf.eprintf "unknown micro flag %S (expected --json and/or --smoke)\n" unknown;
-       exit 1);
-    Micro.run_micro ~json:(List.mem "--json" flags) ~smoke:(List.mem "--smoke" flags) ()
+    (* `micro [--json] [--smoke] [--trace FILE]`: the bechamel suite,
+       optionally writing machine-readable results to BENCH_RESULTS.json;
+       --smoke shrinks the measurement quota for CI; --trace additionally
+       runs one traced migration and exports Chrome trace_event JSON. *)
+    let trace = ref None in
+    let rec parse = function
+      | [] -> ()
+      | "--trace" :: file :: rest ->
+        trace := Some file;
+        parse rest
+      | "--trace" :: [] ->
+        prerr_endline "micro: --trace needs a FILE argument";
+        exit 1
+      | f :: rest when f = "--json" || f = "--smoke" -> parse rest
+      | unknown :: _ ->
+        Printf.eprintf
+          "unknown micro flag %S (expected --json, --smoke and/or --trace FILE)\n"
+          unknown;
+        exit 1
+    in
+    parse flags;
+    Micro.run_micro ~json:(List.mem "--json" flags) ~smoke:(List.mem "--smoke" flags)
+      ?trace:!trace ()
   | _ :: names ->
     List.iter
       (fun name ->

@@ -136,7 +136,31 @@ let tests () =
 
 let results_file = "BENCH_RESULTS.json"
 
-let run_micro ?(json = false) ?(smoke = false) () =
+(* --trace FILE: one traced end-to-end scp migration of the npb fixture
+   on the simulated clock, exported as Chrome trace_event JSON plus a
+   plain-text flame summary. Under eager scp nothing charges the clock
+   outside the six stage spans, so the per-stage span totals printed by
+   the flame summary agree with the cost report's phase times. *)
+let run_trace file =
+  let module Trace = Dapper_obs.Trace in
+  let c = Registry.compiled (Registry.find "npb-cg.A") in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:400_000);
+  Trace.start ();
+  match
+    Migrate.migrate ~src_node:Dapper_net.Node.xeon ~dst_node:Dapper_net.Node.rpi
+      ~src_bin:c.Link.cp_x86 ~dst_bin:c.Link.cp_arm p
+  with
+  | Error e -> failwith ("traced migration failed: " ^ Migrate.error_to_string e)
+  | Ok r ->
+    Trace.stop ();
+    Trace.export ~file;
+    print_endline (Migrate.cost_report ~stage_histograms:true r);
+    print_string (Trace.flame_summary ());
+    Printf.printf "wrote %s (%d trace events)\n" file
+      (List.length (Trace.events ()))
+
+let run_micro ?(json = false) ?(smoke = false) ?trace () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let quota = Time.second (if smoke then 0.05 else 0.5) in
@@ -183,6 +207,7 @@ let run_micro ?(json = false) ?(smoke = false) () =
     output_char oc '\n';
     close_out oc;
     Printf.printf "wrote %s (%d benchmarks)\n" results_file (List.length entries)
-  end
+  end;
+  Option.iter run_trace trace
 
 let run () = run_micro ()

@@ -91,16 +91,25 @@ let oracle_one ?max_points (name, c) =
 
 let resolve name =
   match Corpus.find name with
-  | Some c -> (name, c)
+  | Some c -> Some (name, c)
   | None ->
     (match int_of_string_opt (String.sub name 3 (String.length name - 3)) with
      | Some seed when String.length name > 3 && String.sub name 0 3 = "gen" ->
-       (name, Gen.compile seed)
+       Some (name, Gen.compile seed)
      | _ | (exception Invalid_argument _) ->
-       (name, Registry.compiled (Registry.find name)))
+       (match Registry.find name with
+        | sp -> Some (name, Registry.compiled sp)
+        | exception (Not_found | Invalid_argument _) -> None))
 
 let run_oracle name max_points =
-  if oracle_one ?max_points (resolve name) then 0 else 1
+  match resolve name with
+  | None ->
+    Printf.eprintf
+      "verify: unknown program %S (expected an example-corpus name, gen<SEED>, \
+       or a registry benchmark)\n%!"
+      name;
+    1
+  | Some p -> if oracle_one ?max_points p then 0 else 1
 
 let run_corpus () = List.for_all (fun p -> oracle_one p) (Corpus.all ())
 
@@ -212,11 +221,18 @@ let cmd =
         (Cmd.info "chaos"
            ~doc:"Seeded fault-injection sweep: every run must commit or roll back \
                  cleanly. With $(b,--table), sweep a range of fault probabilities.")
-        Term.(const (fun seeds prob verbose table ->
+        Term.(const (fun seeds prob verbose table trace ->
+                  if trace <> None then Dapper_obs.Trace.start ();
                   let ok =
                     if table then run_chaos_table seeds
                     else run_chaos seeds prob verbose
                   in
+                  (match trace with
+                   | None -> ()
+                   | Some file ->
+                     Dapper_obs.Trace.stop ();
+                     Dapper_obs.Trace.export ~file;
+                     Printf.printf "trace written to %s\n%!" file);
                   if ok then 0 else 1)
               $ Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N"
                        ~doc:"Number of seeded fault schedules to sweep.")
@@ -224,7 +240,10 @@ let cmd =
                        ~doc:"Per-site fault probability (node crashes at P/3).")
               $ Arg.(value & flag & info [ "verbose" ] ~doc:"Print every run.")
               $ Arg.(value & flag & info [ "table" ]
-                       ~doc:"Print the recovery-rate table over fault probabilities."));
+                       ~doc:"Print the recovery-rate table over fault probabilities.")
+              $ Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+                       ~doc:"Export a Chrome trace_event JSON trace of the sweep \
+                             (simulated clock) to $(docv)."));
       Cmd.v
         (Cmd.info "conformance"
            ~doc:"The full gate: static + mutations + example sweep + generated corpus")

@@ -3,6 +3,16 @@ open Dapper_machine
 open Dapper_net
 open Dapper_codegen
 module Session = Dapper.Session
+module Trace = Dapper_obs.Trace
+module Metrics = Dapper_obs.Metrics
+
+let m_quanta = Metrics.counter "fleet.quanta"
+let m_jobs_done = Metrics.counter "fleet.jobs_done"
+let m_evictions = Metrics.counter "fleet.evictions"
+let m_eviction_retries = Metrics.counter "fleet.eviction_retries"
+let m_eviction_failures = Metrics.counter "fleet.eviction_failures"
+let m_nodes_lost = Metrics.counter "fleet.nodes_lost"
+let m_migration_ms = Metrics.gauge "fleet.migration_ms"
 
 type config = {
   f_window_ms : float;
@@ -39,6 +49,13 @@ type stats = {
 }
 
 exception Fleet_error of string
+
+(* A failed eviction must give back exactly what it tentatively charged
+   the victim slot — not wipe the slot's whole stall ledger. Stall debt
+   can pre-date the attempt (e.g. an earlier inbound migration onto the
+   same slot), and zeroing would forgive it. *)
+let settle_failed_eviction ~owed_ms ~charged_ms =
+  Float.max 0.0 (owed_ms -. charged_ms)
 
 type running = {
   r_proc : Process.t;
@@ -93,6 +110,8 @@ let run config (jobs : Link.compiled list) =
   in
   let quanta = int_of_float (config.f_window_ms /. config.f_quantum_ms) in
   for q = 0 to quanta - 1 do
+    Metrics.inc m_quanta;
+    Trace.enter ~cat:"fleet" "quantum" ~args:[ ("q", string_of_int q) ];
     (* fill free Xeon slots from the queue *)
     Array.iter (fun s -> if s.s_job = None then start_job s q) xeon_slots;
     (* eviction: queue is backed up (all xeon busy) and a Pi is free *)
@@ -144,20 +163,27 @@ let run config (jobs : Link.compiled list) =
                 | Some Fault.Crash ->
                   pi.s_dead <- true;
                   incr nodes_lost;
+                  Metrics.inc m_nodes_lost;
                   true
                 | _ -> false
               in
               if node_killed then begin
                 incr eviction_retries;
+                Metrics.inc m_eviction_retries;
                 recover job.r_compiled.Link.cp_app
               end
               else
+                Trace.span ~cat:"fleet" "eviction"
+                  ~args:[ ("app", job.r_compiled.Link.cp_app) ]
+                @@ fun () ->
                 (match Session.run scfg job.r_proc with
                  | Ok st ->
                    let r = Session.finish st in
                    incr evictions;
+                   Metrics.inc m_evictions;
                    let cost = Session.total_ms r.Session.r_times in
                    migration_ms := !migration_ms +. cost;
+                   Metrics.add m_migration_ms cost;
                    (* the migration's cost stalls the destination slot; the
                       victim slot hands its job over and owes nothing *)
                    pi.s_stall_ms <- pi.s_stall_ms +. cost;
@@ -174,19 +200,29 @@ let run config (jobs : Link.compiled list) =
                       node; only structural failures count as lost
                       evictions. Either way the recovery is charged to the
                       job so flaky applications are visible per name. *)
-                   if Dapper_error.retriable e then incr eviction_retries
-                   else incr eviction_failures;
+                   if Dapper_error.retriable e then begin
+                     incr eviction_retries;
+                     Metrics.inc m_eviction_retries
+                   end
+                   else begin
+                     incr eviction_failures;
+                     Metrics.inc m_eviction_failures
+                   end;
                    recover job.r_compiled.Link.cp_app;
                    (match job.r_proc.Process.exit_code with
                     | Some _ ->
                       (* the job finished during the pause *)
                       incr done_total;
+                      Metrics.inc m_jobs_done;
                       vs.s_job <- None;
                       start_job vs q
                     | None ->
-                      (* no migration happened: make sure no stall is charged
-                         for it when the job resumes here *)
-                      vs.s_stall_ms <- 0.0))
+                      (* no migration happened, so this attempt charged the
+                         victim slot nothing — give back exactly that, not
+                         the slot's whole stall ledger *)
+                      vs.s_stall_ms <-
+                        settle_failed_eviction ~owed_ms:vs.s_stall_ms
+                          ~charged_ms:0.0))
           end)
         rpi_slots;
     (* advance every busy slot by one quantum *)
@@ -209,6 +245,7 @@ let run config (jobs : Link.compiled list) =
             match Process.run job.r_proc ~max_instrs:(min instrs config.f_job_fuel) with
             | Process.Exited_run _ ->
               incr done_total;
+              Metrics.inc m_jobs_done;
               if s.s_node.Node.n_arch = Dapper_isa.Arch.Aarch64 then incr done_rpi;
               s.s_job <- None
             | Process.Crashed cr ->
@@ -216,7 +253,10 @@ let run config (jobs : Link.compiled list) =
             | Process.Progress -> ()
             | Process.Idle -> raise (Fleet_error "job deadlocked")
           end)
-      (Array.append xeon_slots rpi_slots)
+      (Array.append xeon_slots rpi_slots);
+    (* each quantum accounts for [f_quantum_ms] of window wall time; an
+       eviction's session spans may already have charged more *)
+    Trace.leave ~dur_ns:(config.f_quantum_ms *. 1e6) ()
   done;
   let busy arch =
     Array.fold_left

@@ -73,6 +73,13 @@ type stats = {
 
 exception Fleet_error of string
 
+(** Stall debt a victim slot still owes after an eviction attempt that
+    charged it [charged_ms] failed: only the attempt's own tentative
+    charge is given back; stall debt predating the attempt stands
+    (never negative). A failed eviction that charged nothing leaves the
+    ledger untouched. *)
+val settle_failed_eviction : owed_ms:float -> charged_ms:float -> float
+
 (** [run config jobs] processes the queue for the window. Each job run
     is a fresh process of the job's binary for the hosting node's
     architecture; evicted jobs continue from their live state. *)

@@ -36,6 +36,7 @@ type page_server_stats = Transport.page_stats = {
   mutable srv_pages : int;
   mutable srv_ns : float;
   mutable srv_retransmits : int;
+  mutable srv_backoff_ns : float;  (** retry-backoff share of [srv_ns] *)
 }
 
 type result = Session.outcome = {
@@ -68,8 +69,15 @@ val restore_ms : node:Node.t -> bytes:int -> float
 
 (** One-line migration cost report: phase times plus the index and
     rewrite-plan-cache counters ({!Rewrite.stats} observability
-    fields). *)
-val cost_report : result -> string
+    fields). With [stage_histograms], appends
+    {!stage_histogram_table}. *)
+val cost_report : ?stage_histograms:bool -> result -> string
+
+(** Plain-text table of the per-stage cost histograms
+    ([session.stage_ms.*] in the {!Dapper_obs.Metrics} registry),
+    accumulated over every session run since the last registry reset.
+    Stages never run are omitted. *)
+val stage_histogram_table : unit -> string
 
 (** [src_node]/[dst_node] parameterize the checkpoint and restore costs
     (and [recode_on] defaults to [src_node]). *)

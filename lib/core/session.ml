@@ -3,6 +3,8 @@ open Dapper_binary
 open Dapper_machine
 open Dapper_criu
 open Dapper_net
+module Trace = Dapper_obs.Trace
+module Metrics = Dapper_obs.Metrics
 
 type config = {
   cfg_src_node : Node.t;
@@ -144,10 +146,20 @@ let stage_log s = List.rev s.s_log
 let times s = times_of_log s.s_log
 let transfer_stats s = s.s_tx
 
+let m_commits = Metrics.counter "session.commits"
+let m_rollbacks = Metrics.counter "session.rollbacks"
+let m_stage_errors = Metrics.counter "session.stage_errors"
+
+let stage_ms_hist stage =
+  Metrics.histogram ("session.stage_ms." ^ Dapper_error.stage_name stage)
+
 let rollback s =
   match s.s_source.Process.exit_code with
   | Some _ -> ()  (* nothing left to resume *)
-  | None -> Monitor.resume s.s_source
+  | None ->
+    Metrics.inc m_rollbacks;
+    Trace.leaf ~cat:"session" "rollback" ~dur_ns:0.0;
+    Monitor.resume s.s_source
 
 let abort = rollback
 
@@ -165,14 +177,41 @@ let guard s f =
     rollback s;
     err
 
-let pause (s : ready t) =
+(* Wrap one staged transition in a trace span and feed the stage's
+   modeled cost into its metrics histogram. Metrics always record (the
+   aggregate accounting plane is cheap and replayable); the span only
+   exists while tracing. A span's duration is the stage's charged ms —
+   since the trace clock never moves backwards, a span containing
+   charged sub-work (a lazy restore serving pages, a draining commit)
+   ends at that sub-work's end if it exceeds the stage's own cost. *)
+let staged stage f (s : _ t) =
+  let tracing = Trace.enabled () in
+  if tracing then Trace.enter ~cat:"session" (Dapper_error.stage_name stage);
+  match f s with
+  | Ok s' as ok ->
+    let ms = match s'.s_log with r :: _ -> r.sr_ms | [] -> 0.0 in
+    Metrics.observe (stage_ms_hist stage) ms;
+    if stage = Dapper_error.Commit then Metrics.inc m_commits;
+    if tracing then Trace.leave ~dur_ns:(ms *. 1e6) ();
+    ok
+  | Error e ->
+    Metrics.inc m_stage_errors;
+    if tracing then Trace.leave ~args:[ ("error", Dapper_error.to_string e) ] ();
+    Error e
+  | exception exn ->
+    if tracing then Trace.leave ~args:[ ("exception", Printexc.to_string exn) ] ();
+    raise exn
+
+let pause_run (s : ready t) =
   guard s (fun () ->
       match Monitor.request_pause s.s_source ~budget:s.s_cfg.cfg_pause_budget with
       | Error _ as e -> e
       | Ok ps ->
         Ok (step s Dapper_error.Pause ~ms:0.0 { sp_pause = ps }))
 
-let dump (s : paused t) =
+let pause s = staged Dapper_error.Pause pause_run s
+
+let dump_run (s : paused t) =
   guard s (fun () ->
       let lazy_pages = Transport.is_lazy s.s_cfg.cfg_transport in
       match Dump.dump ~lazy_pages s.s_source with
@@ -187,7 +226,9 @@ let dump (s : paused t) =
           (step s Dapper_error.Dump ~ms
              { sd_pause = s.s_state.sp_pause; sd_image = image; sd_dump = st }))
 
-let recode (s : dumped t) =
+let dump s = staged Dapper_error.Dump dump_run s
+
+let recode_run (s : dumped t) =
   guard s (fun () ->
       let { sd_pause; sd_image; sd_dump = _ } = s.s_state in
       match
@@ -205,12 +246,14 @@ let recode (s : dumped t) =
              { sc_pause = sd_pause; sc_image = image';
                sc_rewrite = rw; sc_image_bytes = image_bytes }))
 
+let recode s = staged Dapper_error.Recode recode_run s
+
 (* The recoded image actually crosses the wire: serialized to its named
    files, exposed chunk by chunk to the fault plane, checksum-verified
    and (under a retrying transport) retransmitted; the destination
    re-parses what arrived. Without faults or retries this is exactly
    the old single-attempt cost. *)
-let transfer (s : recoded t) =
+let transfer_run (s : recoded t) =
   guard s (fun () ->
       let { sc_pause; sc_image; sc_rewrite; sc_image_bytes } = s.s_state in
       let cfg = s.s_cfg in
@@ -230,6 +273,8 @@ let transfer (s : recoded t) =
                 { sx_pause = sc_pause; sx_image = image';
                   sx_rewrite = sc_rewrite; sx_image_bytes = sc_image_bytes })))
 
+let transfer s = staged Dapper_error.Transfer transfer_run s
+
 let lazy_page_numbers (is : Images.image_set) =
   List.concat_map
     (fun (e : Images.pagemap_entry) ->
@@ -237,7 +282,7 @@ let lazy_page_numbers (is : Images.image_set) =
       else List.init e.pm_npages (fun k -> Layout.page_of_addr e.pm_vaddr + k))
     is.Images.is_pagemap
 
-let restore (s : transferred t) =
+let restore_run (s : transferred t) =
   guard s (fun () ->
       let { sx_pause; sx_image; sx_rewrite; sx_image_bytes } = s.s_state in
       let cfg = s.s_cfg in
@@ -280,6 +325,8 @@ let restore (s : transferred t) =
                   sf_page_server = server_stats;
                   sf_lazy_pages = lazy_page_numbers sx_image })))
 
+let restore s = staged Dapper_error.Restore restore_run s
+
 (* Two-phase commit: the paused source stays resumable until the
    destination acknowledges a verified restore. The acknowledgement has
    three parts — (1) the destination survives to the ack (the fault
@@ -290,7 +337,7 @@ let restore (s : transferred t) =
    the restore instead of stranding a half-paged process); (3) the
    destination's observable state must match the paused source. Any
    failure rolls back to a running source. *)
-let commit (s : restored t) =
+let commit_run (s : restored t) =
   guard s (fun () ->
       let st = s.s_state in
       let cfg = s.s_cfg in
@@ -351,6 +398,8 @@ let commit (s : restored t) =
                   { sm_pause = st.sf_pause; sm_rewrite = st.sf_rewrite;
                     sm_image_bytes = st.sf_image_bytes; sm_process = q;
                     sm_page_server = st.sf_page_server; sm_drained = drained })))
+
+let commit s = staged Dapper_error.Commit commit_run s
 
 let rec retry ~attempts ?(should_retry = Dapper_error.retriable)
     ?(before_retry = fun () -> ()) f =

@@ -1,9 +1,12 @@
 open Dapper_util
+module Trace = Dapper_obs.Trace
+module Metrics = Dapper_obs.Metrics
 
 type page_stats = {
   mutable srv_pages : int;
   mutable srv_ns : float;
   mutable srv_retransmits : int;
+  mutable srv_backoff_ns : float;
 }
 
 type tx_stats = {
@@ -12,7 +15,20 @@ type tx_stats = {
   mutable tx_corrupt : int;
   mutable tx_dropped : int;
   mutable tx_fault_ns : float;
+  mutable tx_backoff_ns : float;
 }
+
+(* Fleet-wide accounting plane; the per-session records above are thin
+   per-run views over the same events. *)
+let m_tx_attempts = Metrics.counter "transport.tx.attempts"
+let m_tx_retransmits = Metrics.counter "transport.tx.retransmits"
+let m_tx_corrupt = Metrics.counter "transport.tx.corrupt"
+let m_tx_dropped = Metrics.counter "transport.tx.dropped"
+let m_tx_fault_ms = Metrics.gauge "transport.tx.fault_ms"
+let m_tx_backoff_ms = Metrics.gauge "transport.tx.backoff_ms"
+let m_pages_served = Metrics.counter "transport.page.served"
+let m_page_retransmits = Metrics.counter "transport.page.retransmits"
+let m_page_fetch_ms = Metrics.histogram "transport.page.fetch_ms"
 
 type retry = {
   r_attempts : int;
@@ -67,14 +83,24 @@ let backoff_ns t k =
   | None -> 0.0
   | Some r -> r.r_backoff_ns *. (r.r_multiplier ** float_of_int k)
 
+(* Total backoff charged by a policy that failed [failures] times and
+   retried after each failure but the last: the closed-form sum the
+   accounting must equal (no backoff follows the final attempt). *)
+let total_backoff_ns t ~failures =
+  let rec go k acc =
+    if k >= failures - 1 then acc else go (k + 1) (acc +. backoff_ns t k)
+  in
+  if failures <= 1 then 0.0 else go 0 0.0
+
 let transfer_ns t bytes = Link.transfer_ns t.t_link bytes *. t.t_cost_factor
 let page_fetch_ns t bytes = Link.page_fetch_ns t.t_link bytes *. t.t_cost_factor
 
-let fresh_page_stats () = { srv_pages = 0; srv_ns = 0.0; srv_retransmits = 0 }
+let fresh_page_stats () =
+  { srv_pages = 0; srv_ns = 0.0; srv_retransmits = 0; srv_backoff_ns = 0.0 }
 
 let fresh_tx_stats () =
   { tx_attempts = 0; tx_retransmits = 0; tx_corrupt = 0; tx_dropped = 0;
-    tx_fault_ns = 0.0 }
+    tx_fault_ns = 0.0; tx_backoff_ns = 0.0 }
 
 let serve_pages t stats ~page_bytes fetch =
   if not (is_lazy t) then invalid_arg "Transport.serve_pages: not a lazy transport";
@@ -82,8 +108,13 @@ let serve_pages t stats ~page_bytes fetch =
     match fetch pn with
     | None -> None
     | Some data ->
+      let ns = page_fetch_ns t page_bytes in
       stats.srv_pages <- stats.srv_pages + 1;
-      stats.srv_ns <- stats.srv_ns +. page_fetch_ns t page_bytes;
+      stats.srv_ns <- stats.srv_ns +. ns;
+      Metrics.inc m_pages_served;
+      Metrics.observe m_page_fetch_ms (ns /. 1e6);
+      Trace.leaf ~cat:"transport" "page-serve"
+        ~args:[ ("page", string_of_int pn) ] ~dur_ns:ns;
       Some data
 
 (* ----- checksummed transmission under the fault plane ----- *)
@@ -112,6 +143,8 @@ let transmit_once ?fault ~stats ~manifest files cost =
           (name, Bytes.to_string b)
         | Some (Fault.Delay ns) ->
           stats.tx_fault_ns <- stats.tx_fault_ns +. ns;
+          Metrics.add m_tx_fault_ms (ns /. 1e6);
+          Trace.advance ns;
           cost := !cost +. ns;
           (name, data)
         | Some Fault.Crash | None -> (name, data))
@@ -120,6 +153,7 @@ let transmit_once ?fault ~stats ~manifest files cost =
   match !dropped with
   | Some name ->
     stats.tx_dropped <- stats.tx_dropped + 1;
+    Metrics.inc m_tx_dropped;
     Lost name
   | None ->
     let damaged =
@@ -130,8 +164,14 @@ let transmit_once ?fault ~stats ~manifest files cost =
     (match damaged with
      | Some (name, _) ->
        stats.tx_corrupt <- stats.tx_corrupt + 1;
+       Metrics.inc m_tx_corrupt;
        Damaged name
      | None -> Delivered received)
+
+let outcome_tag = function
+  | Delivered _ -> "delivered"
+  | Lost _ -> "lost"
+  | Damaged _ -> "damaged"
 
 let transmit t ?fault ~stats ~bytes files =
   let manifest = List.map (fun (name, data) -> (name, Bytebuf.fnv64 data)) files in
@@ -139,15 +179,28 @@ let transmit t ?fault ~stats ~bytes files =
   let max_attempts = attempts t in
   let rec go k =
     stats.tx_attempts <- stats.tx_attempts + 1;
+    Metrics.inc m_tx_attempts;
+    Trace.enter ~cat:"transport" "tx-attempt"
+      ~args:[ ("attempt", string_of_int (k + 1)) ];
     cost := !cost +. transfer_ns t bytes;
-    match transmit_once ?fault ~stats ~manifest files cost with
+    Trace.advance (transfer_ns t bytes);
+    let outcome = transmit_once ?fault ~stats ~manifest files cost in
+    Trace.leave ~args:[ ("outcome", outcome_tag outcome) ] ();
+    match outcome with
     | Delivered received -> Ok (received, !cost)
     | (Lost _ | Damaged _) as failed ->
+      (* Backoff precedes a retry; when no retry will follow (attempts
+         exhausted), no backoff is charged — the failed transfer
+         surfaces immediately. *)
       if k + 1 < max_attempts then begin
         stats.tx_retransmits <- stats.tx_retransmits + 1;
+        Metrics.inc m_tx_retransmits;
         let b = backoff_ns t k in
-        stats.tx_fault_ns <- stats.tx_fault_ns +. b;
+        stats.tx_backoff_ns <- stats.tx_backoff_ns +. b;
+        Metrics.add m_tx_backoff_ms (b /. 1e6);
         cost := !cost +. b;
+        Trace.leaf ~cat:"transport" "tx-backoff"
+          ~args:[ ("retry", string_of_int (k + 1)) ] ~dur_ns:b;
         go (k + 1)
       end
       else
@@ -190,8 +243,11 @@ let fetch_page t ?fault stats ~page_bytes fetch pn =
            charge ();  (* the failed round trip still cost a round trip *)
            if k + 1 < max_attempts then begin
              stats.srv_retransmits <- stats.srv_retransmits + 1;
+             Metrics.inc m_page_retransmits;
+             (* as in [transmit]: backoff only when a retry follows *)
              let b = backoff_ns t k in
              stats.srv_ns <- stats.srv_ns +. b;
+             stats.srv_backoff_ns <- stats.srv_backoff_ns +. b;
              go (k + 1)
            end
            else
@@ -223,4 +279,16 @@ let fetch_page t ?fault stats ~page_bytes fetch pn =
             stats.srv_pages <- stats.srv_pages + 1;
             Ok (Some data)))
   in
-  go 0
+  (* One leaf span per fetch whose duration is exactly what this fetch
+     added to [srv_ns] (round trips, injected delays, retry backoff). *)
+  let ns0 = stats.srv_ns in
+  let pages0 = stats.srv_pages in
+  let r = go 0 in
+  let ns = stats.srv_ns -. ns0 in
+  if stats.srv_pages > pages0 then begin
+    Metrics.inc m_pages_served ~by:(stats.srv_pages - pages0);
+    Metrics.observe m_page_fetch_ms (ns /. 1e6)
+  end;
+  Trace.leaf ~cat:"transport" "page-fetch"
+    ~args:[ ("page", string_of_int pn) ] ~dur_ns:ns;
+  r

@@ -31,16 +31,21 @@ type t
 (** Per-session page-server accounting: pages served on demand from the
     paused source, the cumulative network time they cost (including
     injected delays and retry backoff), and how many fetches had to be
-    retransmitted. Allocate fresh per session ({!fresh_page_stats});
-    never share across sessions. *)
+    retransmitted. [srv_backoff_ns] breaks out the retry-backoff share
+    of [srv_ns] (backoff is only ever charged when a retry follows; see
+    {!total_backoff_ns}). Allocate fresh per session
+    ({!fresh_page_stats}); never share across sessions. *)
 type page_stats = {
   mutable srv_pages : int;
   mutable srv_ns : float;
   mutable srv_retransmits : int;
+  mutable srv_backoff_ns : float;
 }
 
 (** Per-session eager-transfer accounting. [tx_fault_ns] is the latency
-    added by injected delays plus retry backoff — the "cost of chaos"
+    added by injected delays; [tx_backoff_ns] the latency added by
+    retry backoff (charged only when a retry actually follows — never
+    after the final failed attempt). Their sum is the "cost of chaos"
     over a clean transfer. *)
 type tx_stats = {
   mutable tx_attempts : int;
@@ -48,6 +53,7 @@ type tx_stats = {
   mutable tx_corrupt : int;    (** checksum mismatches detected on arrival *)
   mutable tx_dropped : int;    (** transfers dropped mid-image *)
   mutable tx_fault_ns : float;
+  mutable tx_backoff_ns : float;
 }
 
 (** Eager whole-image copy over [link]; no demand paging. *)
@@ -79,6 +85,13 @@ val is_lazy : t -> bool
 
 (** Tries per transfer: the retry policy's attempt bound, or 1. *)
 val attempts : t -> int
+
+(** [total_backoff_ns t ~failures] is the closed-form total backoff a
+    transfer that failed [failures] times must have been charged:
+    [sum_{k=0}^{failures-2} backoff * multiplier^k] — one backoff per
+    retry, none after the final attempt. The accounting invariant the
+    [tx_backoff_ns]/[srv_backoff_ns] tallies are tested against. *)
+val total_backoff_ns : t -> failures:int -> float
 
 (** Nanoseconds to move [bytes] of eager image over this transport. *)
 val transfer_ns : t -> int -> float

@@ -1,0 +1,69 @@
+(** A process-wide metrics registry: named counters, gauges and
+    fixed-bucket histograms.
+
+    This is the accounting plane behind the pipeline's cost reporting:
+    {!Transport}-level transfer/retry counters, per-stage session cost
+    histograms, rewrite work counters and fleet eviction counters all
+    land here, replacing scattered ad-hoc tallies as the aggregate
+    source of truth. The legacy per-session records ([Rewrite.stats],
+    [Transport.tx_stats], fleet [stats]) remain as thin per-run views —
+    their reports are byte-identical — while the registry accumulates
+    across runs (reset with {!reset}).
+
+    Like {!Trace}, every recorded value derives from the simulated
+    cost model, never the wall clock, so metrics are replayable: the
+    same seeded run always produces the same registry contents.
+
+    Metrics are registered on first use; re-requesting a name returns
+    the same metric (re-registering a name as a different type raises
+    [Invalid_argument]). Registration order is preserved in {!names},
+    {!dump} and {!to_json} so outputs are stable. *)
+
+type counter
+type gauge
+type histogram
+
+(** Get or create. *)
+val counter : string -> counter
+
+val gauge : string -> gauge
+
+(** [histogram name] with millisecond-oriented default [bounds]
+    (upper bucket bounds, strictly increasing; one overflow bucket is
+    added past the last bound). *)
+val histogram : ?bounds:float array -> string -> histogram
+
+val default_bounds : float array
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val observe : histogram -> float -> unit
+val histogram_sum : histogram -> float
+val histogram_count : histogram -> int
+val histogram_name : histogram -> string
+
+(** [(upper_bound, count)] per bucket, ending with the [infinity]
+    overflow bucket. *)
+val histogram_buckets : histogram -> (float * int) list
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+val find : string -> metric option
+
+(** Registered names, in registration order. *)
+val names : unit -> string list
+
+(** Zero every metric's value (registrations persist). *)
+val reset : unit -> unit
+
+(** Plain-text table of every metric. *)
+val dump : unit -> string
+
+val to_json : unit -> Dapper_util.Json.t

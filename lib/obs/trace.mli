@@ -1,0 +1,85 @@
+(** Structured tracing on the simulated clock.
+
+    A trace is a stream of nested spans recorded by instrumentation
+    threaded through the migration pipeline (session stages, transport
+    transmits and retries, rewrite/recode, fleet quanta, chaos seeds).
+    Timestamps come from a {e simulated} clock that advances only when
+    instrumentation charges modeled nanoseconds ({!advance}) or a span
+    closes with an explicit modeled duration ({!leave}[ ~dur_ns]) —
+    never from the wall clock — so a trace is a deterministic, pure
+    function of the work performed: two replays of the same seeded run
+    export byte-identical traces.
+
+    Tracing is off by default and every operation is a cheap no-op
+    while disabled (one flag test); enable with {!start}, then export
+    with {!export} (Chrome [trace_event] JSON, loadable in
+    [chrome://tracing] / Perfetto) or {!flame_summary} (plain text).
+
+    The sink is global and single-threaded, matching the simulator. *)
+
+type phase = Begin | End
+
+type event = {
+  ev_phase : phase;
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_ns : float;  (** simulated-clock timestamp *)
+  ev_args : (string * string) list;
+}
+
+(** Reset the sink and enable recording. *)
+val start : unit -> unit
+
+(** Disable recording, keeping the buffer for export. *)
+val stop : unit -> unit
+
+val enabled : unit -> bool
+
+(** Clear the buffer and rewind the simulated clock to 0. *)
+val reset : unit -> unit
+
+(** Current simulated-clock position (ns). *)
+val now_ns : unit -> float
+
+(** Open a nested span at the current simulated time. *)
+val enter : ?cat:string -> ?args:(string * string) list -> string -> unit
+
+(** Charge [ns] of modeled time to the simulated clock (attributed to
+    the innermost open span). Negative charges are ignored. *)
+val advance : float -> unit
+
+(** Close the innermost open span. With [~dur_ns], the span's modeled
+    cost: the clock moves to at least [begin + dur_ns] (children that
+    already charged more keep the clock — it never goes backwards).
+    Raises [Invalid_argument] if no span is open (and tracing is on). *)
+val leave : ?dur_ns:float -> ?args:(string * string) list -> unit -> unit
+
+(** [leaf name ~dur_ns] = enter, advance, leave: a childless span of a
+    known modeled cost. *)
+val leaf :
+  ?cat:string -> ?args:(string * string) list -> string -> dur_ns:float -> unit
+
+(** [span name f] runs [f] inside a span, closing it even if [f]
+    raises. *)
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Recorded events, oldest first. *)
+val events : unit -> event list
+
+(** Number of spans currently open (0 in a well-formed finished trace). *)
+val open_spans : unit -> int
+
+(** The buffer as Chrome [trace_event] JSON (duration events, ts in
+    microseconds). *)
+val to_chrome_json : unit -> Dapper_util.Json.t
+
+(** Write {!to_chrome_json} to [file]. *)
+val export : file:string -> unit
+
+(** Summed duration (ms) of every closed span called [name] (optionally
+    restricted to category [cat]). *)
+val total_ms : ?cat:string -> string -> float
+
+(** Plain-text flame summary: per span name, count, total and self time
+    in ms, sorted by total descending. *)
+val flame_summary : unit -> string

@@ -8,6 +8,7 @@ module Netlink = Dapper_net.Link
 module Fault = Dapper_util.Fault
 module Rng = Dapper_util.Rng
 module Derr = Dapper_util.Dapper_error
+module Trace = Dapper_obs.Trace
 
 type verdict = Committed | Rolled_back of Derr.t
 
@@ -200,9 +201,18 @@ let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ~spec ~seed ~src ~dst
       cr_faults = Fault.injected fault;
       cr_retransmits = retransmits;
       cr_drained = drained;
-      cr_added_ms = tx.Transport.tx_fault_ns /. 1e6 }
+      (* cost of chaos = injected delays + retry backoff (the backoff
+         share is tallied separately since the accounting split) *)
+      cr_added_ms = (tx.Transport.tx_fault_ns +. tx.Transport.tx_backoff_ns) /. 1e6 }
   in
-  match go () with
+  let traced () =
+    Trace.span ~cat:"chaos" "chaos-run"
+      ~args:
+        [ ("seed", string_of_int seed); ("app", c.Link.cp_app);
+          ("src", Arch.name src); ("dst", Arch.name dst) ]
+      go
+  in
+  match traced () with
   | report -> Ok report
   | exception Fail what ->
     Error { cf_app = c.Link.cp_app; cf_src = src; cf_dst = dst; cf_seed = seed;

@@ -138,6 +138,20 @@ let test_fleet_node_loss () =
   check Alcotest.bool "recoveries charged to the job" true
     (List.mem_assoc app st.Fleet.f_recoveries)
 
+(* A failed eviction settles the victim slot's stall ledger by giving
+   back only what the attempt charged — pre-existing stall debt (e.g.
+   from an earlier inbound migration onto the slot) must survive. The
+   old code zeroed the whole ledger. *)
+let test_settle_failed_eviction () =
+  check (Alcotest.float 0.0) "pre-existing debt survives a free attempt" 120.0
+    (Fleet.settle_failed_eviction ~owed_ms:120.0 ~charged_ms:0.0);
+  check (Alcotest.float 0.0) "attempt's own charge is given back" 100.0
+    (Fleet.settle_failed_eviction ~owed_ms:130.0 ~charged_ms:30.0);
+  check (Alcotest.float 0.0) "never refunds below zero" 0.0
+    (Fleet.settle_failed_eviction ~owed_ms:20.0 ~charged_ms:30.0);
+  check (Alcotest.float 0.0) "clean ledger stays clean" 0.0
+    (Fleet.settle_failed_eviction ~owed_ms:0.0 ~charged_ms:0.0)
+
 let test_fleet_chaos_recovers () =
   (* a flaky but survivable fault plane with a retrying transport: the
      fleet keeps making progress and books every abandoned eviction as a
@@ -170,5 +184,7 @@ let suites =
         Alcotest.test_case "fleet: transient eviction failures retried" `Slow
           test_fleet_eviction_retries;
         Alcotest.test_case "fleet: node loss survived" `Slow test_fleet_node_loss;
+        Alcotest.test_case "fleet: failed-eviction stall settlement" `Quick
+          test_settle_failed_eviction;
         Alcotest.test_case "fleet: chaos recovery accounting" `Slow
           test_fleet_chaos_recovers ] ) ]

@@ -21,4 +21,5 @@ let () =
      @ Test_stackmap_invariants.suites
      @ Test_indexes.suites
      @ Test_verify.suites
-     @ Test_chaos.suites)
+     @ Test_chaos.suites
+     @ Test_obs.suites)

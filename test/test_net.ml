@@ -106,8 +106,56 @@ let test_transmit_drop_and_recovery () =
    | Ok _ -> Alcotest.fail "certain drop cannot deliver");
   check Alcotest.int "three attempts" 3 stats.Transport.tx_attempts;
   check Alcotest.int "two retransmissions" 2 stats.Transport.tx_retransmits;
-  check Alcotest.bool "backoff charged as latency" true
-    (stats.Transport.tx_fault_ns > 0.0)
+  check Alcotest.bool "backoff charged as backoff, not fault latency" true
+    (stats.Transport.tx_backoff_ns > 0.0 && stats.Transport.tx_fault_ns = 0.0)
+
+(* The backoff the tallies charge must equal the closed-form sum over
+   the retries that actually followed a failure: with [attempts]
+   tries, [attempts - 1] backoffs — none after the final attempt. *)
+let test_backoff_closed_form () =
+  let mk attempts =
+    Transport.retrying ~attempts ~backoff_ns:2.0e6 ~multiplier:2.0
+      (Transport.scp Link.infiniband)
+  in
+  (* 2 ms + 4 ms, and nothing for the third (final) failure *)
+  check (Alcotest.float 0.0) "closed form: 3 failures" 6.0e6
+    (Transport.total_backoff_ns (mk 3) ~failures:3);
+  check (Alcotest.float 0.0) "closed form: 1 failure, no retry" 0.0
+    (Transport.total_backoff_ns (mk 3) ~failures:1);
+  check (Alcotest.float 0.0) "closed form: no policy" 0.0
+    (Transport.total_backoff_ns (Transport.scp Link.infiniband) ~failures:4);
+  (* certain drop: every attempt fails, so the charged backoff must be
+     exactly the closed form for [attempts] failures *)
+  List.iter
+    (fun attempts ->
+      let t = mk attempts in
+      let stats = Transport.fresh_tx_stats () in
+      let fault = Fault.make ~seed:5 { Fault.calm with Fault.fs_drop = 1.0 } in
+      (match Transport.transmit t ~fault ~stats ~bytes:4096 files with
+       | Error (Derr.Transfer_timeout _) -> ()
+       | Error e -> Alcotest.fail ("wrong error: " ^ Derr.to_string e)
+       | Ok _ -> Alcotest.fail "certain drop cannot deliver");
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "charged backoff equals closed form (%d attempts)" attempts)
+        (Transport.total_backoff_ns t ~failures:attempts)
+        stats.Transport.tx_backoff_ns)
+    [ 1; 2; 3; 4 ];
+  (* same invariant on the page-fetch path *)
+  let t =
+    Transport.retrying ~attempts:3 ~backoff_ns:2.0e6 ~multiplier:2.0
+      (Transport.page_server Link.infiniband)
+  in
+  let stats = Transport.fresh_page_stats () in
+  let fault = Fault.make ~seed:3 { Fault.calm with Fault.fs_drop = 1.0 } in
+  let serve pn = if pn = 7 then Some (Bytes.make 4096 'p') else None in
+  (match Transport.fetch_page t ~fault stats ~page_bytes:4096 serve 7 with
+   | Error (Derr.Transfer_timeout _) -> ()
+   | Error e -> Alcotest.fail ("wrong error: " ^ Derr.to_string e)
+   | Ok _ -> Alcotest.fail "certain drop cannot deliver");
+  check (Alcotest.float 0.0) "page backoff equals closed form" 6.0e6
+    stats.Transport.srv_backoff_ns;
+  check Alcotest.bool "backoff included in srv_ns" true
+    (stats.Transport.srv_ns >= stats.Transport.srv_backoff_ns)
 
 let test_transmit_corruption_detected () =
   let t = Transport.scp Link.infiniband in
@@ -191,6 +239,7 @@ let suites =
         Alcotest.test_case "transmit: clean" `Quick test_transmit_clean;
         Alcotest.test_case "transmit: drop + recovery" `Quick
           test_transmit_drop_and_recovery;
+        Alcotest.test_case "backoff closed form" `Quick test_backoff_closed_form;
         Alcotest.test_case "transmit: corruption detected" `Quick
           test_transmit_corruption_detected;
         Alcotest.test_case "transmit: delay survives" `Quick test_transmit_delay_survives;

@@ -411,6 +411,41 @@ let test_migration_deterministic () =
     files1 files2;
   check Alcotest.bool "stats identical (incl. counters)" true (stats1 = stats2)
 
+(* Plan-cache reuse must not skew the per-run stats: a warm rewrite
+   (every plan already cached) reports the same work counters as the
+   cold one that populated the cache — cached plans still read concrete
+   offsets through the indexes at apply time, so index and interval
+   counters are neither skipped on hits nor carried over between runs.
+   Only the hit/miss split differs. *)
+let test_stats_warm_vs_cold_plan_cache () =
+  let c = Option.get (Dapper_verify.Corpus.find "mini-sieve") in
+  let rewrite_at point =
+    let p = Process.load c.Link.cp_x86 in
+    if not (Oracle.advance_to_point p ~budget:30_000_000 point) then
+      Alcotest.failf "program exited before point %d" point;
+    let image = Dapper_util.Dapper_error.ok_exn (Dapper_criu.Dump.dump p) in
+    snd
+      (Dapper_util.Dapper_error.ok_exn
+         (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm))
+  in
+  Plan_cache.clear ();
+  let cold = rewrite_at 3 in
+  let warm = rewrite_at 3 in
+  check Alcotest.bool "cold run builds plans" true (cold.Rewrite.st_plan_misses > 0);
+  check Alcotest.int "warm run hits every plan"
+    (cold.Rewrite.st_plan_hits + cold.Rewrite.st_plan_misses)
+    warm.Rewrite.st_plan_hits;
+  check Alcotest.int "warm run misses nothing" 0 warm.Rewrite.st_plan_misses;
+  check Alcotest.int "index lookups not skipped on cached plans"
+    cold.Rewrite.st_index_lookups warm.Rewrite.st_index_lookups;
+  check Alcotest.int "interval probes identical"
+    cold.Rewrite.st_interval_lookups warm.Rewrite.st_interval_lookups;
+  check Alcotest.bool "work counters identical" true
+    (cold.Rewrite.st_frames = warm.Rewrite.st_frames
+     && cold.Rewrite.st_values = warm.Rewrite.st_values
+     && cold.Rewrite.st_ptrs_translated = warm.Rewrite.st_ptrs_translated
+     && cold.Rewrite.st_threads = warm.Rewrite.st_threads)
+
 let suites =
   [ ( "session",
       [ Alcotest.test_case "run: happy path + stage log" `Quick test_run_happy_path;
@@ -431,4 +466,6 @@ let suites =
         Alcotest.test_case "forced migration at every equivalence point" `Quick
           test_migration_at_every_eqpoint;
         Alcotest.test_case "migration deterministic (images + cost stats)" `Quick
-          test_migration_deterministic ] ) ]
+          test_migration_deterministic;
+        Alcotest.test_case "stats identical warm vs cold plan cache" `Quick
+          test_stats_warm_vs_cold_plan_cache ] ) ]
