@@ -130,19 +130,43 @@ let run_fuzz count max_points =
     (List.length directions) !failed;
   !failed = 0
 
+(* ----- fast-path byte equivalence ----- *)
+
+let run_fastpath points =
+  let ok = ref true in
+  List.iter
+    (fun (name, c) ->
+      List.iter
+        (fun (src, dst) ->
+          match Oracle.check_fastpaths ~points ~src ~dst c with
+          | Ok r ->
+            Printf.printf "fastpath %-16s %s->%s %s\n%!" name (Arch.name src)
+              (Arch.name dst)
+              (Oracle.fastpath_report_to_string r)
+          | Error f ->
+            ok := false;
+            Printf.printf "fastpath %-16s FAILED %s\n%!" name
+              (Oracle.failure_to_string f))
+        directions)
+    (Corpus.all ());
+  !ok
+
 (* ----- chaos runs ----- *)
 
-let run_chaos seeds prob verbose =
+let run_chaos seeds prob verbose pipeline =
   let spec = Dapper_util.Fault.uniform prob in
   let progress r =
     if verbose then print_endline (Dapper_verify.Chaos.run_report_to_string r)
   in
-  match Dapper_verify.Chaos.sweep ~progress ~spec ~seeds () with
+  match Dapper_verify.Chaos.sweep ~pipeline ~progress ~spec ~seeds () with
   | Ok s ->
-    Printf.printf "chaos p=%g: %s\n%!" prob (Dapper_verify.Chaos.summary_to_string s);
+    Printf.printf "chaos p=%g%s: %s\n%!" prob
+      (if pipeline then " (pipelined)" else "")
+      (Dapper_verify.Chaos.summary_to_string s);
     true
   | Error f ->
-    Printf.printf "chaos p=%g FAILED %s\n%!" prob
+    Printf.printf "chaos p=%g%s FAILED %s\n%!" prob
+      (if pipeline then " (pipelined)" else "")
       (Dapper_verify.Chaos.failure_to_string f);
     false
 
@@ -173,12 +197,15 @@ let run_conformance count max_points =
   let mutations_ok = run_mutations () in
   let corpus_ok = run_corpus () in
   let fuzz_ok = run_fuzz count max_points in
-  let ok = static_ok && mutations_ok && corpus_ok && fuzz_ok in
-  Printf.printf "conformance: static %s, mutations %s, corpus %s, fuzz %s\n%!"
+  let fastpath_ok = run_fastpath 2 in
+  let ok = static_ok && mutations_ok && corpus_ok && fuzz_ok && fastpath_ok in
+  Printf.printf
+    "conformance: static %s, mutations %s, corpus %s, fuzz %s, fastpath %s\n%!"
     (if static_ok then "ok" else "FAILED")
     (if mutations_ok then "ok" else "FAILED")
     (if corpus_ok then "ok" else "FAILED")
-    (if fuzz_ok then "ok" else "FAILED");
+    (if fuzz_ok then "ok" else "FAILED")
+    (if fastpath_ok then "ok" else "FAILED");
   if ok then 0 else 1
 
 (* ----- command line ----- *)
@@ -221,11 +248,11 @@ let cmd =
         (Cmd.info "chaos"
            ~doc:"Seeded fault-injection sweep: every run must commit or roll back \
                  cleanly. With $(b,--table), sweep a range of fault probabilities.")
-        Term.(const (fun seeds prob verbose table trace ->
+        Term.(const (fun seeds prob verbose table trace pipeline ->
                   if trace <> None then Dapper_obs.Trace.start ();
                   let ok =
                     if table then run_chaos_table seeds
-                    else run_chaos seeds prob verbose
+                    else run_chaos seeds prob verbose pipeline
                   in
                   (match trace with
                    | None -> ()
@@ -243,7 +270,19 @@ let cmd =
                        ~doc:"Print the recovery-rate table over fault probabilities.")
               $ Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
                        ~doc:"Export a Chrome trace_event JSON trace of the sweep \
-                             (simulated clock) to $(docv)."));
+                             (simulated clock) to $(docv).")
+              $ Arg.(value & flag & info [ "pipeline" ]
+                       ~doc:"Stream transfers in page-sized chunks (the pipelined \
+                             fast path); faults mid-stream must still commit or \
+                             roll back."));
+      Cmd.v
+        (Cmd.info "fastpath"
+           ~doc:"Byte-equivalence of the recode fast paths (pipelined, memoized, \
+                 multi-worker) against the sequential pipeline, over the example \
+                 corpus in both directions")
+        Term.(const (fun points -> if run_fastpath points then 0 else 1)
+              $ Arg.(value & opt int 3 & info [ "points" ] ~docv:"K"
+                       ~doc:"Equivalence points exercised per program/direction."));
       Cmd.v
         (Cmd.info "conformance"
            ~doc:"The full gate: static + mutations + example sweep + generated corpus")

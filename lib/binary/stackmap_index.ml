@@ -92,6 +92,14 @@ let cache_capacity = 32
 
 let content_key maps = Digest.string (Stackmap.serialize maps)
 
+(* A binary's stack-map content digest, for content-keyed memo keys
+   (the rewrite-output cache). Reuses the index cache's digest when the
+   maps were indexed before, so the common path is a pointer walk. *)
+let content_digest maps =
+  match List.find_opt (fun e -> e.ce_maps == maps) !cache with
+  | Some e -> e.ce_key
+  | None -> content_key maps
+
 let get maps =
   match List.find_opt (fun e -> e.ce_maps == maps) !cache with
   | Some e -> e.ce_ix

@@ -32,6 +32,12 @@ val build : Stackmap.func_map list -> t
     content can never alias a stale one. *)
 val get : Stackmap.func_map list -> t
 
+(** Digest of the serialized stack maps — the content half of {!get}'s
+    cache key, exposed so output-level memoization (the rewrite-result
+    cache) can key entries by binary content. Cheap when the maps were
+    indexed before (shares the index cache's stored digest). *)
+val content_digest : Stackmap.func_map list -> Digest.t
+
 (** Indexed equivalents of the {!Stackmap} linear lookups. *)
 
 val find_func : t -> string -> Stackmap.func_map option

@@ -66,10 +66,19 @@ let stage_histogram_table () =
     Dapper_error.[ Pause; Dump; Recode; Transfer; Restore; Commit ];
   Buffer.contents buf
 
+(* Process-global cache/index counters an experiment may want zeroed
+   between runs so successive cost reports don't difference across each
+   other's traffic. The per-rewrite [Rewrite.stats] counters are already
+   scoped (attached {!Plan_cache.counters} sinks) and unaffected. *)
+let reset_run_counters () =
+  Plan_cache.reset_counters ();
+  Stackmap_index.reset_counters ()
+
 (* Cost report with the index/plan-cache observability counters; new
    surfaces only (the fig5/fig7 tables keep their exact seed format).
-   [stage_histograms] appends the registry-backed per-stage table. *)
-let cost_report ?(stage_histograms = false) (r : result) =
+   [stage_histograms] appends the registry-backed per-stage table;
+   [reset] zeroes the process-global counters after rendering. *)
+let cost_report ?(stage_histograms = false) ?(reset = false) (r : result) =
   let t = r.r_times in
   let rw = r.r_rewrite in
   let line =
@@ -83,10 +92,22 @@ let cost_report ?(stage_histograms = false) (r : result) =
       (if rw.Rewrite.st_plan_misses = 1 then "" else "es")
       rw.Rewrite.st_index_lookups rw.Rewrite.st_interval_lookups
   in
+  (* Memo surfaces only when it did something, keeping the legacy line
+     byte-identical for non-memoized runs. *)
+  let line =
+    if rw.Rewrite.st_memo_thread_hits > 0 || rw.Rewrite.st_memo_page_hits > 0 then
+      line
+      ^ Printf.sprintf ", memo %d thread / %d page hits (%d bytes skipped)"
+          rw.Rewrite.st_memo_thread_hits rw.Rewrite.st_memo_page_hits
+          rw.Rewrite.st_skipped_bytes
+    else line
+  in
+  if reset then reset_run_counters ();
   if stage_histograms then line ^ "\n" ^ stage_histogram_table () else line
 
 let migrate ?(lazy_pages = false) ?(link = Link.infiniband) ?recode_on
-    ?(bytes_scale = 1.0) ?(budget = 50_000_000) ~(src_node : Node.t)
+    ?(bytes_scale = 1.0) ?(budget = 50_000_000) ?(pipeline = false)
+    ?(chunk_bytes = 262_144) ?(recode_workers = 1) ?memo ~(src_node : Node.t)
     ~(dst_node : Node.t) ~(dst_bin : Binary.t) ~(src_bin : Binary.t)
     (p : Process.t) =
   let transport =
@@ -102,6 +123,10 @@ let migrate ?(lazy_pages = false) ?(link = Link.infiniband) ?recode_on
       cfg_bytes_scale = bytes_scale;
       cfg_pause_budget = budget;
       cfg_commit_drain = false;
-      cfg_fault = None }
+      cfg_fault = None;
+      cfg_pipeline = pipeline;
+      cfg_chunk_bytes = chunk_bytes;
+      cfg_recode_workers = recode_workers;
+      cfg_recode_memo = memo }
   in
   Result.map Session.finish (Session.run cfg p)

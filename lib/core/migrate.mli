@@ -57,8 +57,10 @@ type error = Dapper_error.t
 val error_to_string : error -> string
 
 (** Nanoseconds the recode phase takes on [node] for the given rewrite
-    work (exposed for Fig. 5's recode-on-x86 vs recode-on-arm rows). *)
-val recode_ns : Node.t -> ?bytes:int -> Rewrite.stats -> float
+    work (exposed for Fig. 5's recode-on-x86 vs recode-on-arm rows).
+    [bytes] is the byte volume actually re-encoded; [?workers] > 1
+    models multi-core recode (see {!Session.recode_ns}). *)
+val recode_ns : Node.t -> ?workers:int -> bytes:int -> Rewrite.stats -> float
 
 (** Checkpoint/restore cost for an image of the given (scaled) size on
     [node]. The costs are anchored on the nodes each phase was measured
@@ -67,11 +69,20 @@ val recode_ns : Node.t -> ?bytes:int -> Rewrite.stats -> float
 val checkpoint_ms : node:Node.t -> bytes:int -> float
 val restore_ms : node:Node.t -> bytes:int -> float
 
+(** Zero the process-global plan-cache and stack-map-index counters, so
+    successive experiments' cost reports don't difference across each
+    other's traffic. The per-rewrite counters in {!Rewrite.stats} are
+    scoped to their run (attached {!Plan_cache.counters} sinks) and are
+    not affected. *)
+val reset_run_counters : unit -> unit
+
 (** One-line migration cost report: phase times plus the index and
     rewrite-plan-cache counters ({!Rewrite.stats} observability
-    fields). With [stage_histograms], appends
-    {!stage_histogram_table}. *)
-val cost_report : ?stage_histograms:bool -> result -> string
+    fields); when the run used a recode memo that hit, an extra memo
+    clause (legacy format is untouched otherwise). With
+    [stage_histograms], appends {!stage_histogram_table}; with [reset],
+    calls {!reset_run_counters} after rendering. *)
+val cost_report : ?stage_histograms:bool -> ?reset:bool -> result -> string
 
 (** Plain-text table of the per-stage cost histograms
     ([session.stage_ms.*] in the {!Dapper_obs.Metrics} registry),
@@ -80,13 +91,21 @@ val cost_report : ?stage_histograms:bool -> result -> string
 val stage_histogram_table : unit -> string
 
 (** [src_node]/[dst_node] parameterize the checkpoint and restore costs
-    (and [recode_on] defaults to [src_node]). *)
+    (and [recode_on] defaults to [src_node]). [pipeline]/[chunk_bytes]
+    stream recoded chunks into the transfer ({!Session.config});
+    [recode_workers] spreads recode over the recode node's cores;
+    [memo] enables incremental recode across repeat migrations. All
+    default to the sequential single-worker model. *)
 val migrate :
   ?lazy_pages:bool ->
   ?link:Link.t ->
   ?recode_on:Node.t ->
   ?bytes_scale:float ->
   ?budget:int ->
+  ?pipeline:bool ->
+  ?chunk_bytes:int ->
+  ?recode_workers:int ->
+  ?memo:Plan_cache.memo ->
   src_node:Node.t ->
   dst_node:Node.t ->
   dst_bin:Binary.t ->

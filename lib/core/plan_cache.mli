@@ -53,3 +53,62 @@ val reset_counters : unit -> unit
 
 (** Drop all cached plans and reset the counters. *)
 val clear : unit -> unit
+
+(** {1 Per-run counter scoping}
+
+    The global {!hits}/{!misses} tallies bleed across experiments
+    (anything may {!reset_counters} between two readings a caller wants
+    to difference). A run that needs trustworthy numbers attaches its
+    own {!counters} sink for its duration: every {!lookup} increments
+    the globals {e and} every attached sink, so a scoped count is immune
+    to concurrent resets. *)
+
+type counters = { mutable c_hits : int; mutable c_misses : int }
+
+val fresh_counters : unit -> counters
+val attach : counters -> unit
+val detach : counters -> unit
+
+(** [counting f] runs [f] with a fresh attached sink (detached even if
+    [f] raises) and returns [f]'s result with the counts it scoped. *)
+val counting : (unit -> 'a) -> 'a * counters
+
+(** {1 Output-level memoization}
+
+    Beyond plan-level decisions, a {!memo} caches rewrite {e outputs}
+    keyed by content hashes — per pass-through page (content digest:
+    hit means the page need not be re-encoded) and per thread (digest
+    of its unwound frames, live-value bytes, argument registers, TLS,
+    present stack pages and the global pointer-translation interval
+    set, mapped to the finished destination core + rewritten stack
+    pages). An environment digest over the binary pair guards the
+    whole memo: entries from a different binary pair can never be
+    replayed. Opt-in: pass a memo to [Rewrite.rewrite] (via
+    [Session.config.cfg_recode_memo]); the default pipeline never
+    consults one. *)
+
+(** A memoized thread rewrite: the destination thread core and the
+    thread's rewritten stack pages (page number, full page bytes). *)
+type thread_patch = {
+  tp_core : Dapper_criu.Images.thread_core;
+  tp_pages : (int * string) list;
+}
+
+type memo
+
+val create_memo : unit -> memo
+
+(** Empty the memo (entries and environment binding). *)
+val memo_clear : memo -> unit
+
+(** Bind the memo to an environment digest, emptying it first when the
+    environment changed; [true] when existing entries remain valid. *)
+val memo_bind : memo -> env:Digest.t -> bool
+
+val memo_page_hit : memo -> int -> Digest.t -> bool
+val memo_page_store : memo -> int -> Digest.t -> unit
+val memo_thread_hit : memo -> int -> Digest.t -> thread_patch option
+val memo_thread_store : memo -> int -> Digest.t -> thread_patch -> unit
+
+(** [(pages, threads)] currently memoized. *)
+val memo_size : memo -> int * int

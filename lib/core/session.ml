@@ -17,6 +17,10 @@ type config = {
   cfg_pause_budget : int;
   cfg_commit_drain : bool;
   cfg_fault : Fault.t option;
+  cfg_pipeline : bool;
+  cfg_chunk_bytes : int;
+  cfg_recode_workers : int;
+  cfg_recode_memo : Plan_cache.memo option;
 }
 
 let default_config ~src_bin ~dst_bin =
@@ -29,7 +33,11 @@ let default_config ~src_bin ~dst_bin =
     cfg_bytes_scale = 1.0;
     cfg_pause_budget = 50_000_000;
     cfg_commit_drain = false;
-    cfg_fault = None }
+    cfg_fault = None;
+    cfg_pipeline = false;
+    cfg_chunk_bytes = 262_144;
+    cfg_recode_workers = 1;
+    cfg_recode_memo = None }
 
 (* Cost-model constants (see EXPERIMENTS.md, "Calibration"). *)
 let checkpoint_fixed_ns = 3.0e6    (* freeze + /proc walk + image setup *)
@@ -56,13 +64,28 @@ let restore_ms ~node ~bytes =
 let lazy_restore_ms ~node =
   lazy_restore_ns /. 1e6 *. node_factor ~anchor:Node.rpi node
 
-let recode_ns (node : Node.t) ?(bytes = 0) (stats : Rewrite.stats) =
+let recode_ns (node : Node.t) ?(workers = 1) ~bytes (stats : Rewrite.stats) =
   (* measured per-architecture recode slowdown (paper Fig. 5), independent
      of the raw execution-speed ratio *)
   let slowdown = Dapper_isa.Arch.recode_slowdown node.n_arch in
-  (float_of_int (Rewrite.work_items stats) *. recode_item_ns
-   +. (float_of_int bytes *. recode_byte_ns))
-  *. slowdown
+  let w = max 1 (min workers node.n_cores) in
+  if w = 1 then
+    (float_of_int (Rewrite.work_items stats) *. recode_item_ns
+     +. (float_of_int bytes *. recode_byte_ns))
+    *. slowdown
+  else
+    (* Work-queue critical path across [w] cores: frame/value work items
+       and page-granular byte slices are pulled from a shared queue; the
+       stage ends when the most-loaded worker (its ceil share) finishes.
+       Pages are the byte-work unit, so below one page per worker extra
+       cores buy nothing — parallel recode pays a granularity tax that a
+       single worker (the exact sequential formula above) does not. *)
+    let per_worker_items = (Rewrite.work_items stats + w - 1) / w in
+    let pages = (bytes + Layout.page_size - 1) / Layout.page_size in
+    let per_worker_pages = (pages + w - 1) / w in
+    (float_of_int per_worker_items *. recode_item_ns
+     +. (float_of_int (per_worker_pages * Layout.page_size) *. recode_byte_ns))
+    *. slowdown
 
 type phase_times = {
   t_checkpoint_ms : float;
@@ -73,7 +96,7 @@ type phase_times = {
 
 let total_ms t = t.t_checkpoint_ms +. t.t_recode_ms +. t.t_scp_ms +. t.t_restore_ms
 
-type stage_record = { sr_stage : Dapper_error.stage; sr_ms : float }
+type stage_record = { sr_stage : Dapper_error.stage; sr_ms : float; sr_bytes : int }
 
 let times_of_log log =
   List.fold_left
@@ -165,10 +188,13 @@ let abort = rollback
 
 let scaled cfg b = int_of_float (float_of_int b *. cfg.cfg_bytes_scale)
 
-(* Advance to state [st], recording the stage's modeled cost; on error,
-   un-pause the source so a failed migration never strands it. *)
-let step s stage ~ms st =
-  { s with s_log = { sr_stage = stage; sr_ms = ms } :: s.s_log; s_state = st }
+(* Advance to state [st], recording the stage's modeled cost and the
+   bytes it charged for (explicit, so the overlap math and the legacy
+   sequential totals reconcile from the log alone); on error, un-pause
+   the source so a failed migration never strands it. *)
+let step s stage ?(bytes = 0) ~ms st =
+  { s with s_log = { sr_stage = stage; sr_ms = ms; sr_bytes = bytes } :: s.s_log;
+    s_state = st }
 
 let guard s f =
   match f () with
@@ -218,12 +244,10 @@ let dump_run (s : paused t) =
       | Error _ as e -> e
       | Ok image ->
         let st = Dump.stats_of image in
-        let ms =
-          checkpoint_ms ~node:s.s_cfg.cfg_src_node
-            ~bytes:(scaled s.s_cfg (st.Dump.pages_dumped * Layout.page_size))
-        in
+        let bytes = scaled s.s_cfg (st.Dump.pages_dumped * Layout.page_size) in
+        let ms = checkpoint_ms ~node:s.s_cfg.cfg_src_node ~bytes in
         Ok
-          (step s Dapper_error.Dump ~ms
+          (step s Dapper_error.Dump ~bytes ~ms
              { sd_pause = s.s_state.sp_pause; sd_image = image; sd_dump = st }))
 
 let dump s = staged Dapper_error.Dump dump_run s
@@ -231,18 +255,34 @@ let dump s = staged Dapper_error.Dump dump_run s
 let recode_run (s : dumped t) =
   guard s (fun () ->
       let { sd_pause; sd_image; sd_dump = _ } = s.s_state in
+      let cfg = s.s_cfg in
       match
-        Rewrite.rewrite sd_image ~src:s.s_cfg.cfg_src_bin ~dst:s.s_cfg.cfg_dst_bin
+        Rewrite.rewrite ?memo:cfg.cfg_recode_memo sd_image ~src:cfg.cfg_src_bin
+          ~dst:cfg.cfg_dst_bin
       with
       | Error _ as e -> e
       | Ok (image', rw) ->
         let image_bytes = Images.total_bytes image' in
-        let ms =
-          recode_ns s.s_cfg.cfg_recode_node ~bytes:(scaled s.s_cfg image_bytes) rw
-          /. 1e6
+        (* Memo hits shrink the charged byte volume (and, for replayed
+           threads, the work items inside [rw]); the produced image is
+           byte-identical either way. *)
+        let charged_bytes =
+          scaled cfg (max 0 (image_bytes - rw.Rewrite.st_skipped_bytes))
         in
+        let workers = max 1 (min cfg.cfg_recode_workers cfg.cfg_recode_node.Node.n_cores) in
+        let ms =
+          recode_ns cfg.cfg_recode_node ~workers ~bytes:charged_bytes rw /. 1e6
+        in
+        if Trace.enabled () && (workers > 1 || rw.Rewrite.st_skipped_bytes > 0) then
+          Trace.leaf ~cat:"session" "recode-plan" ~dur_ns:0.0
+            ~args:
+              [ ("workers", string_of_int workers);
+                ("charged_bytes", string_of_int charged_bytes);
+                ("skipped_bytes", string_of_int rw.Rewrite.st_skipped_bytes);
+                ("memo_thread_hits", string_of_int rw.Rewrite.st_memo_thread_hits);
+                ("memo_page_hits", string_of_int rw.Rewrite.st_memo_page_hits) ];
         Ok
-          (step s Dapper_error.Recode ~ms
+          (step s Dapper_error.Recode ~bytes:charged_bytes ~ms
              { sc_pause = sd_pause; sc_image = image';
                sc_rewrite = rw; sc_image_bytes = image_bytes }))
 
@@ -257,11 +297,31 @@ let transfer_run (s : recoded t) =
   guard s (fun () ->
       let { sc_pause; sc_image; sc_rewrite; sc_image_bytes } = s.s_state in
       let cfg = s.s_cfg in
-      match
-        Transport.transmit cfg.cfg_transport ?fault:cfg.cfg_fault ~stats:s.s_tx
-          ~bytes:(scaled cfg sc_image_bytes)
-          (Images.to_files sc_image)
-      with
+      let wire_bytes = scaled cfg sc_image_bytes in
+      let files = Images.to_files sc_image in
+      let result =
+        if cfg.cfg_pipeline then
+          (* Overlapped transfer: recode streamed its output in chunks,
+             so only the makespan's excess over the recode time already
+             charged (plus any fault/retry surcharge) lands here. The
+             recode cost is the record the previous stage just logged. *)
+          let recode_charged_ns =
+            match s.s_log with
+            | r :: _ when r.sr_stage = Dapper_error.Recode -> r.sr_ms *. 1e6
+            | _ -> 0.0
+          in
+          match
+            Transport.transmit_pipelined cfg.cfg_transport ?fault:cfg.cfg_fault
+              ~stats:s.s_tx ~bytes:wire_bytes ~chunk_bytes:cfg.cfg_chunk_bytes
+              ~recode_ns:recode_charged_ns files
+          with
+          | Error _ as e -> e
+          | Ok (received, ns, _sched) -> Ok (received, ns)
+        else
+          Transport.transmit cfg.cfg_transport ?fault:cfg.cfg_fault ~stats:s.s_tx
+            ~bytes:wire_bytes files
+      in
+      match result with
       | Error _ as e -> e
       | Ok (received, ns) ->
         (match Images.of_files received with
@@ -269,7 +329,7 @@ let transfer_run (s : recoded t) =
            Error (Dapper_error.Transfer_failed ("received image unparsable: " ^ msg))
          | image' ->
            Ok
-             (step s Dapper_error.Transfer ~ms:(ns /. 1e6)
+             (step s Dapper_error.Transfer ~bytes:wire_bytes ~ms:(ns /. 1e6)
                 { sx_pause = sc_pause; sx_image = image';
                   sx_rewrite = sc_rewrite; sx_image_bytes = sc_image_bytes })))
 
@@ -314,12 +374,13 @@ let restore_run (s : transferred t) =
         (match Restore.restore ?page_source sx_image cfg.cfg_dst_bin with
          | Error _ as e -> e
          | Ok q ->
+           let bytes = if lazy_pages then 0 else scaled cfg sx_image_bytes in
            let ms =
              if lazy_pages then lazy_restore_ms ~node:cfg.cfg_dst_node
-             else restore_ms ~node:cfg.cfg_dst_node ~bytes:(scaled cfg sx_image_bytes)
+             else restore_ms ~node:cfg.cfg_dst_node ~bytes
            in
            Ok
-             (step s Dapper_error.Restore ~ms
+             (step s Dapper_error.Restore ~bytes ~ms
                 { sf_pause = sx_pause; sf_rewrite = sx_rewrite;
                   sf_image_bytes = sx_image_bytes; sf_process = q;
                   sf_page_server = server_stats;

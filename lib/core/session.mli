@@ -61,6 +61,27 @@ type config = {
       (default off: commit is verification/ack only, preserving lazy
       page-fault accounting) *)
   cfg_fault : Fault.t option;  (** chaos plane; [None] = clean run *)
+  cfg_pipeline : bool;
+  (** stream recoded chunks into the transfer stage so recode time
+      hides under transmission (the transfer stage then charges only
+      the pipeline makespan's excess over the recode cost, plus any
+      fault/retry surcharge). Wire semantics — faults, checksums,
+      retransmission, commit/rollback — are unchanged. Default off:
+      the sequential cost model of the paper's figures. *)
+  cfg_chunk_bytes : int;
+  (** producer/consumer chunk size for [cfg_pipeline] (default 256
+      KiB). Each chunk pays the link's per-transfer latency, so
+      smaller chunks overlap more but cost more wire time. *)
+  cfg_recode_workers : int;
+  (** recode worker count, clamped to [1 ..
+      cfg_recode_node.n_cores]. 1 (default) is the exact sequential
+      cost model; more workers divide the recode critical path at
+      page granularity. *)
+  cfg_recode_memo : Plan_cache.memo option;
+  (** output-level memoization consulted (and filled) by the recode
+      stage: repeat migrations of an unchanged binary re-encode only
+      changed threads/pages, shrinking the charged recode bytes and
+      work items. [None] (default): every run recodes everything. *)
 }
 
 (** Xeon-to-Pi over infiniband scp with the standard drain budget — the
@@ -78,10 +99,16 @@ val checkpoint_ms : node:Node.t -> bytes:int -> float
 val restore_ms : node:Node.t -> bytes:int -> float
 val lazy_restore_ms : node:Node.t -> float
 
-(** [recode_ns node stats] models the state rewrite: per-work-item and
-    per-byte costs scaled by the node architecture's measured recode
-    slowdown (paper Fig. 5). *)
-val recode_ns : Node.t -> ?bytes:int -> Rewrite.stats -> float
+(** [recode_ns node ~bytes stats] models the state rewrite: per-work-item
+    and per-byte costs scaled by the node architecture's measured recode
+    slowdown (paper Fig. 5). [bytes] is the byte volume actually
+    re-encoded (the image size, minus any memo-skipped bytes) — explicit
+    so callers cannot silently drop the dominant term. With [?workers]
+    > 1 (clamped to the node's cores) the cost is the work-queue
+    critical path: ceil shares of the work items and of the
+    page-granular byte slices on the most-loaded core. [workers = 1]
+    (default) is exactly the sequential formula. *)
+val recode_ns : Node.t -> ?workers:int -> bytes:int -> Rewrite.stats -> float
 
 (** {1 Phase times} *)
 
@@ -94,8 +121,11 @@ type phase_times = {
 
 val total_ms : phase_times -> float
 
-(** One completed stage and its modeled cost. *)
-type stage_record = { sr_stage : Dapper_error.stage; sr_ms : float }
+(** One completed stage, its modeled cost, and the byte volume it
+    charged for ([sr_bytes] = 0 for stages that charge none — pause,
+    lazy restore, commit). Explicit byte accounting lets the overlap
+    math and the sequential totals be reconciled from the log alone. *)
+type stage_record = { sr_stage : Dapper_error.stage; sr_ms : float; sr_bytes : int }
 
 (** Fold a stage log into the classic four-phase breakdown (pause and
     dump both contribute to the checkpoint phase; commit contributes to

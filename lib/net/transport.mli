@@ -130,6 +130,66 @@ val transmit :
   (string * string) list ->
   ((string * string) list * float, Dapper_error.t) result
 
+(** {1 Chunked producer/consumer pipelining}
+
+    The overlap cost model behind the session's pipelined transfer
+    stage: recode produces the image in fixed-size chunks and the wire
+    consumes each chunk as soon as it is ready, so recode time hides
+    under transmission on the simulated clock. *)
+
+(** One chunk of the pipelined schedule: when its recode slice finished
+    ([ck_ready_ns]), when the wire started sending it ([ck_start_ns] =
+    max of ready and wire-free time) and its wire time ([ck_tx_ns],
+    which includes the link's per-transfer latency — chunking overhead
+    is modeled, not hidden). All times relative to recode start. *)
+type chunk = {
+  ck_index : int;
+  ck_bytes : int;
+  ck_ready_ns : float;
+  ck_start_ns : float;
+  ck_tx_ns : float;
+}
+
+type pipe_stats = {
+  pp_chunks : int;
+  pp_recode_ns : float;    (** producer (recode) total, as given *)
+  pp_wire_ns : float;      (** wire busy time: sum of per-chunk costs *)
+  pp_stall_ns : float;     (** wire idle time waiting on the producer *)
+  pp_makespan_ns : float;  (** recode start to last chunk delivered *)
+  pp_exposed_ns : float;   (** [makespan - recode]: transfer cost left
+                               visible once recode hides under the wire *)
+  pp_hidden_ns : float;    (** recode time hidden under transmission *)
+  pp_schedule : chunk list;
+}
+
+(** Pure two-stage pipeline makespan over the simulated clock. With one
+    chunk ([chunk_bytes >= bytes]) the schedule degenerates to the
+    sequential pipeline exactly: [pp_exposed_ns = transfer_ns t bytes]
+    and [pp_hidden_ns = 0]. Invariants: [pp_exposed_ns] is at least the
+    last chunk's wire time (the wire cannot finish before the producer),
+    and [pp_hidden_ns <= min recode_ns pp_wire_ns]. Raises
+    [Invalid_argument] for negative [bytes]/[recode_ns] or
+    [chunk_bytes < 1]. *)
+val pipeline_schedule :
+  t -> bytes:int -> chunk_bytes:int -> recode_ns:float -> pipe_stats
+
+(** {!transmit} with the pipelined cost model: identical wire semantics
+    (faults, checksum manifest, bounded retransmission — commit/rollback
+    behavior is unchanged), but the returned nanoseconds are
+    [pp_exposed_ns] plus any fault/retry surcharge (delays and
+    retransmissions hit a wire whose producer already finished, so they
+    are never hidden). Also returns the schedule for span/metric
+    emission. *)
+val transmit_pipelined :
+  t ->
+  ?fault:Fault.t ->
+  stats:tx_stats ->
+  bytes:int ->
+  chunk_bytes:int ->
+  recode_ns:float ->
+  (string * string) list ->
+  ((string * string) list * float * pipe_stats, Dapper_error.t) result
+
 (** [fetch_page t stats ~page_bytes fetch pn] is one fault-aware,
     checksummed post-copy page fetch with bounded retransmission —
     the page-drain path of the session's commit stage. [Ok None] means

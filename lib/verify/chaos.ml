@@ -105,8 +105,8 @@ let pick_transport rng =
    the paused source (and which completes like the native run), or rolls
    back to a source that is running and completes like the native run.
    Either way, no process is ever lost or corrupted. *)
-let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ~spec ~seed ~src ~dst
-    (c : Link.compiled) =
+let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(pipeline = false)
+    ~spec ~seed ~src ~dst (c : Link.compiled) =
   let src_bin = Link.binary_for c src and dst_bin = Link.binary_for c dst in
   let go () =
     (* ground truth *)
@@ -131,7 +131,12 @@ let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ~spec ~seed ~src ~dst
         Session.cfg_transport = transport;
         cfg_pause_budget = budget;
         cfg_commit_drain = true;
-        cfg_fault = Some fault }
+        cfg_fault = Some fault;
+        (* pipelined chaos: stream in page-sized chunks (corpus images
+           are unscaled, so the default 256 KiB would be one chunk) —
+           faults mid-stream must still commit-or-rollback *)
+        cfg_pipeline = pipeline;
+        cfg_chunk_bytes = (if pipeline then 4096 else 262_144) }
     in
     (* driven stepwise so the session's transfer accounting survives a
        failed stage (Session.run would discard it with the session) *)
@@ -221,7 +226,7 @@ let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ~spec ~seed ~src ~dst
 (* N seeded schedules swept over the whole example corpus, alternating
    migration direction: the chaos suite proper. Stops at the first
    invariant violation. *)
-let sweep ?fuel ?budget ?(progress = fun _ -> ()) ~spec ~seeds () =
+let sweep ?fuel ?budget ?pipeline ?(progress = fun _ -> ()) ~spec ~seeds () =
   let corpus = Corpus.all () in
   let n_programs = List.length corpus in
   let zero =
@@ -236,7 +241,7 @@ let sweep ?fuel ?budget ?(progress = fun _ -> ()) ~spec ~seeds () =
         if seed / n_programs mod 2 = 0 then (Arch.X86_64, Arch.Aarch64)
         else (Arch.Aarch64, Arch.X86_64)
       in
-      match run_one ?fuel ?budget ~spec ~seed ~src ~dst c with
+      match run_one ?fuel ?budget ?pipeline ~spec ~seed ~src ~dst c with
       | Error _ as e -> e
       | Ok r ->
         progress r;

@@ -66,10 +66,14 @@ val summary_to_string : summary -> string
 val probe_points : ?cap:int -> budget:int -> Dapper_binary.Binary.t -> int
 
 (** One seeded chaos run of [c], migrating [src]→[dst] under [spec].
-    Defaults: [fuel] 50M, [budget] 50M. *)
+    Defaults: [fuel] 50M, [budget] 50M. With [pipeline], the transfer
+    stage streams the image in page-sized chunks
+    ({!Dapper.Session.config.cfg_pipeline}) — faults landing mid-stream
+    must still commit-or-rollback exactly like the sequential path. *)
 val run_one :
   ?fuel:int ->
   ?budget:int ->
+  ?pipeline:bool ->
   spec:Dapper_util.Fault.spec ->
   seed:int ->
   src:Arch.t ->
@@ -83,6 +87,7 @@ val run_one :
 val sweep :
   ?fuel:int ->
   ?budget:int ->
+  ?pipeline:bool ->
   ?progress:(run_report -> unit) ->
   spec:Dapper_util.Fault.spec ->
   seeds:int ->

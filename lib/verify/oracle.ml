@@ -6,6 +6,9 @@ module Session = Dapper.Session
 module Monitor = Dapper.Monitor
 module Unwind = Dapper.Unwind
 module Dump = Dapper_criu.Dump
+module Images = Dapper_criu.Images
+module Rewrite = Dapper.Rewrite
+module Plan_cache = Dapper.Plan_cache
 module Derr = Dapper_util.Dapper_error
 
 type report = {
@@ -268,5 +271,120 @@ let run ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(max_points = max_int) ~src
   in
   match go () with
   | report -> Ok report
+  | exception Fail (point, what) ->
+    Error { fl_app = c.Link.cp_app; fl_src = src; fl_dst = dst; fl_point = point; fl_what = what }
+
+(* ----- fast-path byte equivalence ----- *)
+
+type fastpath_report = {
+  fp_app : string;
+  fp_points : int;
+  fp_memo_thread_hits : int;
+  fp_memo_page_hits : int;
+  fp_saved_transfer_ms : float;
+}
+
+let fastpath_report_to_string r =
+  Printf.sprintf
+    "%s fastpaths: %d points, memo hits %d thread / %d page, transfer saved %.3f ms"
+    r.fp_app r.fp_points r.fp_memo_thread_hits r.fp_memo_page_hits
+    r.fp_saved_transfer_ms
+
+(* Drive one full session, capturing the exact bytes that crossed the
+   wire: the transferred image re-serialized to its named files. Every
+   fast path must reproduce these bytes exactly. *)
+let run_capturing ~point cfg p =
+  let step what = function
+    | Ok s -> s
+    | Error e -> fail point "%s failed: %s" what (Derr.to_string e)
+  in
+  let s = Session.start cfg p in
+  let s = step "pause" (Session.pause s) in
+  let s = step "dump" (Session.dump s) in
+  let s = step "recode" (Session.recode s) in
+  let s = step "transfer" (Session.transfer s) in
+  let files = List.sort compare (Images.to_files s.Session.s_state.Session.sx_image) in
+  let s = step "restore" (Session.restore s) in
+  let s = step "commit" (Session.commit s) in
+  (files, Session.finish s)
+
+let check_fastpaths ?(budget = 50_000_000) ?(points = 3) ~src ~dst
+    (c : Link.compiled) =
+  let src_bin = Link.binary_for c src and dst_bin = Link.binary_for c dst in
+  let base_cfg =
+    { (Session.default_config ~src_bin ~dst_bin) with Session.cfg_pause_budget = budget }
+  in
+  let memo = Plan_cache.create_memo () in
+  let checked = ref 0 and thr_hits = ref 0 and page_hits = ref 0 in
+  let saved = ref 0.0 in
+  let go () =
+    let k = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !checked < points do
+      let parked () =
+        let p = Process.load src_bin in
+        if advance_to_point p ~budget !k then Some p else None
+      in
+      (match parked () with
+       | None -> continue_ := false
+       | Some p ->
+         let base_files, base = run_capturing ~point:!k base_cfg p in
+         let variant name cfg =
+           match parked () with
+           | None -> fail !k "source no longer reaches point %d" !k
+           | Some p ->
+             let files, r = run_capturing ~point:!k cfg p in
+             if files <> base_files then
+               fail !k "%s image differs from the sequential pipeline" name;
+             r
+         in
+         (* overlap: pipelined transfer may only shave the transfer cost *)
+         let pipe =
+           variant "pipelined"
+             { base_cfg with Session.cfg_pipeline = true; cfg_chunk_bytes = 4096 }
+         in
+         let base_scp = base.Session.r_times.Session.t_scp_ms in
+         let pipe_scp = pipe.Session.r_times.Session.t_scp_ms in
+         if pipe_scp > base_scp +. 1e-9 then
+           fail !k "pipelined transfer (%.6f ms) costs more than sequential (%.6f ms)"
+             pipe_scp base_scp;
+         saved := !saved +. (base_scp -. pipe_scp);
+         (* parallelism: the multi-worker cost model must not change bytes *)
+         let _workers =
+           variant "multi-worker" { base_cfg with Session.cfg_recode_workers = 4 }
+         in
+         (* incrementality: cold fill then warm replay over the same point *)
+         let cold =
+           variant "memo-cold" { base_cfg with Session.cfg_recode_memo = Some memo }
+         in
+         let warm =
+           variant "memo-warm" { base_cfg with Session.cfg_recode_memo = Some memo }
+         in
+         let wrw = warm.Session.r_rewrite in
+         if wrw.Rewrite.st_memo_thread_hits = 0 && wrw.Rewrite.st_memo_page_hits = 0 then
+           fail !k "warm memo run hit nothing";
+         if
+           warm.Session.r_times.Session.t_recode_ms
+           > cold.Session.r_times.Session.t_recode_ms +. 1e-9
+         then fail !k "warm memo recode costs more than cold";
+         thr_hits := !thr_hits + wrw.Rewrite.st_memo_thread_hits;
+         page_hits := !page_hits + wrw.Rewrite.st_memo_page_hits;
+         (* all three fast paths composed *)
+         let _all =
+           variant "combined"
+             { base_cfg with Session.cfg_pipeline = true; cfg_chunk_bytes = 4096;
+               cfg_recode_workers = 4; cfg_recode_memo = Some memo }
+         in
+         incr checked;
+         k := !k + 2)
+    done;
+    { fp_app = c.Link.cp_app;
+      fp_points = !checked;
+      fp_memo_thread_hits = !thr_hits;
+      fp_memo_page_hits = !page_hits;
+      fp_saved_transfer_ms = !saved }
+  in
+  match go () with
+  | r -> Ok r
   | exception Fail (point, what) ->
     Error { fl_app = c.Link.cp_app; fl_src = src; fl_dst = dst; fl_point = point; fl_what = what }

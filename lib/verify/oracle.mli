@@ -77,3 +77,34 @@ val run :
     there; [false] if the process exits first. Exposed for tests that
     drive the pipeline by hand at a chosen point. *)
 val advance_to_point : Dapper_machine.Process.t -> budget:int -> int -> bool
+
+(** {1 Fast-path byte equivalence}
+
+    The recode fast paths — pipelined transfer, output-level
+    memoization (cold fill and warm replay), the multi-worker cost
+    model, and all three combined — must produce byte-identical wire
+    images and equivalent restored processes. [check_fastpaths] parks a
+    fresh source at up to [points] equivalence points and, at each,
+    runs the sequential pipeline followed by every fast-path variant,
+    comparing the transferred image files byte-for-byte and requiring
+    the pipelined transfer cost never to exceed the sequential one, a
+    warm memo run to actually hit and not to cost more recode time
+    than its cold fill. *)
+
+type fastpath_report = {
+  fp_app : string;
+  fp_points : int;            (** equivalence points exercised *)
+  fp_memo_thread_hits : int;  (** warm-replay thread hits observed *)
+  fp_memo_page_hits : int;    (** warm-replay pass-through page hits *)
+  fp_saved_transfer_ms : float; (** sequential minus pipelined transfer *)
+}
+
+val fastpath_report_to_string : fastpath_report -> string
+
+val check_fastpaths :
+  ?budget:int ->
+  ?points:int ->
+  src:Arch.t ->
+  dst:Arch.t ->
+  Link.compiled ->
+  (fastpath_report, failure) result

@@ -228,6 +228,62 @@ let test_fetch_page_paths () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+(* ----- chunked producer/consumer pipeline schedule ----- *)
+
+let test_pipeline_single_chunk_degenerates () =
+  (* chunk_bytes >= bytes: exactly the sequential pipeline *)
+  let t = Transport.scp Link.infiniband in
+  let bytes = 100_000 in
+  let s = Transport.pipeline_schedule t ~bytes ~chunk_bytes:(bytes * 2)
+            ~recode_ns:5.0e6 in
+  check Alcotest.int "one chunk" 1 s.Transport.pp_chunks;
+  check (Alcotest.float 1e-6) "exposed = sequential transfer"
+    (Transport.transfer_ns t bytes) s.Transport.pp_exposed_ns;
+  check (Alcotest.float 1e-6) "nothing hidden" 0.0 s.Transport.pp_hidden_ns
+
+let test_pipeline_invariants () =
+  let t = Transport.scp Link.infiniband in
+  let bytes = 1 lsl 20 in
+  List.iter
+    (fun (chunk_bytes, recode_ns) ->
+      let s = Transport.pipeline_schedule t ~bytes ~chunk_bytes ~recode_ns in
+      let seq = Transport.transfer_ns t bytes in
+      (* the overlap can only help: exposed tail never exceeds the
+         sequential wire cost plus the chunking latency overhead *)
+      check Alcotest.bool "hidden bounded by recode" true
+        (s.Transport.pp_hidden_ns <= recode_ns +. 1e-6);
+      check Alcotest.bool "hidden bounded by wire busy" true
+        (s.Transport.pp_hidden_ns <= s.Transport.pp_wire_ns +. 1e-6);
+      check Alcotest.bool "exposed >= last chunk tx" true
+        (match List.rev s.Transport.pp_schedule with
+         | last :: _ -> s.Transport.pp_exposed_ns >= last.Transport.ck_tx_ns -. 1e-6
+         | [] -> false);
+      check Alcotest.bool "makespan = recode + exposed" true
+        (abs_float
+           (s.Transport.pp_makespan_ns
+            -. (recode_ns +. s.Transport.pp_exposed_ns)) < 1e-3);
+      check Alcotest.bool "conservation: makespan >= max(recode, wire)" true
+        (s.Transport.pp_makespan_ns >= max recode_ns s.Transport.pp_wire_ns -. 1e-3);
+      (* chunked wire busy time covers at least the sequential cost
+         (chunking adds per-transfer latency, never removes payload) *)
+      check Alcotest.bool "wire busy >= sequential" true
+        (s.Transport.pp_wire_ns >= seq -. 1e-3))
+    [ (4096, 0.0); (4096, 2.0e6); (65536, 2.0e6); (65536, 50.0e6);
+      (262_144, 0.5e6) ]
+
+let test_pipeline_rejects_garbage () =
+  let t = Transport.scp Link.infiniband in
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check Alcotest.bool "negative bytes" true
+    (bad (fun () -> Transport.pipeline_schedule t ~bytes:(-1) ~chunk_bytes:4096
+                      ~recode_ns:0.0));
+  check Alcotest.bool "zero chunk" true
+    (bad (fun () -> Transport.pipeline_schedule t ~bytes:4096 ~chunk_bytes:0
+                      ~recode_ns:0.0));
+  check Alcotest.bool "negative recode" true
+    (bad (fun () -> Transport.pipeline_schedule t ~bytes:4096 ~chunk_bytes:4096
+                      ~recode_ns:(-1.0)))
+
 let suites =
   [ ( "net",
       [ Alcotest.test_case "link transfer math" `Quick test_link_transfer_math;
@@ -243,4 +299,10 @@ let suites =
         Alcotest.test_case "transmit: corruption detected" `Quick
           test_transmit_corruption_detected;
         Alcotest.test_case "transmit: delay survives" `Quick test_transmit_delay_survives;
-        Alcotest.test_case "fetch_page: fault paths" `Quick test_fetch_page_paths ] ) ]
+        Alcotest.test_case "fetch_page: fault paths" `Quick test_fetch_page_paths;
+        Alcotest.test_case "pipeline: single chunk degenerates" `Quick
+          test_pipeline_single_chunk_degenerates;
+        Alcotest.test_case "pipeline: schedule invariants" `Quick
+          test_pipeline_invariants;
+        Alcotest.test_case "pipeline: rejects garbage" `Quick
+          test_pipeline_rejects_garbage ] ) ]

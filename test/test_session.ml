@@ -446,6 +446,173 @@ let test_stats_warm_vs_cold_plan_cache () =
      && cold.Rewrite.st_ptrs_translated = warm.Rewrite.st_ptrs_translated
      && cold.Rewrite.st_threads = warm.Rewrite.st_threads)
 
+(* ----- pipelined / parallel / incremental recode fast paths -----
+
+   Byte-equivalence of every fast path against the sequential pipeline
+   is enforced by the fastpath oracle (lib/verify/oracle.ml, run under
+   @conformance); here we pin the cost-model semantics: overlap only
+   helps, byte accounting reconciles, workers are clamped, and a warm
+   memo shrinks the recode charge. *)
+
+let run_at_point c cfg point =
+  let p = Process.load c.Link.cp_x86 in
+  if not (Oracle.advance_to_point p ~budget:30_000_000 point) then
+    Alcotest.failf "program exited before point %d" point;
+  match Session.run cfg p with
+  | Error e -> Alcotest.fail (Derr.to_string e)
+  | Ok st -> st
+
+let dest_result st =
+  let r = Session.finish st in
+  match Process.run_to_completion r.Session.r_process ~fuel:50_000_000 with
+  | Process.Exited_run v -> (v, Process.stdout_contents r.Session.r_process)
+  | _ -> Alcotest.fail "destination did not complete"
+
+let test_pipelined_overlap () =
+  let c = Option.get (Dapper_verify.Corpus.find "mini-sieve") in
+  let seq = run_at_point c (config_for c) 3 in
+  let pipe =
+    run_at_point c
+      { (config_for c) with Session.cfg_pipeline = true; cfg_chunk_bytes = 4096 }
+      3
+  in
+  let st = Session.times seq and pt = Session.times pipe in
+  (* recode is unchanged; only the transfer charge shrinks (the exposed
+     tail of the overlap schedule replaces the full sequential wire) *)
+  check (Alcotest.float 1e-9) "recode charge unchanged"
+    st.Session.t_recode_ms pt.Session.t_recode_ms;
+  check Alcotest.bool "pipelined transfer never worse" true
+    (pt.Session.t_scp_ms <= st.Session.t_scp_ms +. 1e-9);
+  check Alcotest.bool "pipelined total never worse" true
+    (Session.total_ms pt <= Session.total_ms st +. 1e-9);
+  (* and the destination behaves identically *)
+  let sc, so = dest_result seq and pc, po = dest_result pipe in
+  check Alcotest.bool "same exit code" true (Int64.equal sc pc);
+  check Alcotest.string "same output" so po
+
+let stage_record st name =
+  List.find
+    (fun x -> Derr.stage_name x.Session.sr_stage = name)
+    (Session.stage_log st)
+
+(* Satellite: the recode stage's charged milliseconds must reconcile
+   exactly with [Session.recode_ns] applied to the bytes it recorded in
+   its own stage record — no silently defaulted byte count. *)
+let test_recode_bytes_reconcile () =
+  let c = Option.get (Dapper_verify.Corpus.find "mini-sieve") in
+  let cfg = config_for c in
+  let st = run_at_point c cfg 2 in
+  let recode = stage_record st "recode" in
+  let dump = stage_record st "dump" in
+  let transfer = stage_record st "transfer" in
+  let r = Session.finish st in
+  check Alcotest.bool "recode charged real bytes" true (recode.Session.sr_bytes > 0);
+  let expect =
+    Session.recode_ns cfg.Session.cfg_recode_node ~bytes:recode.Session.sr_bytes
+      r.Session.r_rewrite
+    /. 1e6
+  in
+  check (Alcotest.float 1e-9) "recode ms = recode_ns over its sr_bytes" expect
+    recode.Session.sr_ms;
+  (* default config: scale 1.0, no memo — dump charges the source image,
+     recode the full rewritten image, the wire what it actually shipped *)
+  check Alcotest.bool "dump charged real bytes" true (dump.Session.sr_bytes > 0);
+  check Alcotest.int "recode charges the rewritten image (nothing skipped)"
+    r.Session.r_image_bytes recode.Session.sr_bytes;
+  check Alcotest.bool "transfer charged real bytes" true
+    (transfer.Session.sr_bytes > 0);
+  List.iter
+    (fun x ->
+      check Alcotest.bool
+        (Derr.stage_name x.Session.sr_stage ^ " bytes non-negative")
+        true (x.Session.sr_bytes >= 0))
+    (Session.stage_log st)
+
+let test_recode_workers_model () =
+  let c = Option.get (Dapper_verify.Corpus.find "mini-sieve") in
+  let _, stats = migrate_at_point c 2 in
+  let bytes = 10 * 1024 * 1024 in
+  let t w = Session.recode_ns Node.xeon ~workers:w ~bytes stats in
+  check Alcotest.bool "2 workers beat 1 on a big image" true (t 2 < t 1);
+  check Alcotest.bool "4 workers no slower than 2" true (t 4 <= t 2 +. 1e-9);
+  check (Alcotest.float 1e-9) "clamped at the node's core count"
+    (t Node.xeon.Node.n_cores)
+    (t 1024);
+  check (Alcotest.float 1e-9) "workers < 1 clamp to sequential" (t 1) (t 0);
+  (* perfect-split floor: W workers can never beat work/W *)
+  check Alcotest.bool "no superlinear speedup" true
+    (t 4 >= t 1 /. 4.0 -. 1e-9)
+
+let test_memo_warm_session () =
+  let c = Option.get (Dapper_verify.Corpus.find "mini-sieve") in
+  let memo = Plan_cache.create_memo () in
+  let cfg = { (config_for c) with Session.cfg_recode_memo = Some memo } in
+  let cold = run_at_point c cfg 3 in
+  let cold_t = Session.times cold in
+  let cr = Session.finish cold in
+  let warm = run_at_point c cfg 3 in
+  let warm_t = Session.times warm in
+  let wr = Session.finish warm in
+  let crw = cr.Session.r_rewrite and wrw = wr.Session.r_rewrite in
+  check Alcotest.int "cold run hits nothing" 0
+    (crw.Rewrite.st_memo_thread_hits + crw.Rewrite.st_memo_page_hits);
+  check Alcotest.bool "warm run replays memoized outputs" true
+    (wrw.Rewrite.st_memo_thread_hits > 0 && wrw.Rewrite.st_memo_page_hits > 0);
+  check Alcotest.bool "warm run skips bytes" true (wrw.Rewrite.st_skipped_bytes > 0);
+  check Alcotest.bool "warm recode charge shrinks" true
+    (warm_t.Session.t_recode_ms < cold_t.Session.t_recode_ms);
+  (* identical destination behavior either way *)
+  (match
+     ( Process.run_to_completion cr.Session.r_process ~fuel:50_000_000,
+       Process.run_to_completion wr.Session.r_process ~fuel:50_000_000 )
+   with
+   | Process.Exited_run a, Process.Exited_run b ->
+     check Alcotest.bool "same exit code" true (Int64.equal a b);
+     check Alcotest.string "same output"
+       (Process.stdout_contents cr.Session.r_process)
+       (Process.stdout_contents wr.Session.r_process)
+   | _ -> Alcotest.fail "a destination did not complete")
+
+(* Satellite: scoped plan-cache counters survive a concurrent
+   [reset_counters] — the per-run sink tallies every lookup made while
+   attached, independent of the process-global counters. *)
+let test_scoped_counters_immune_to_reset () =
+  let c = Option.get (Dapper_verify.Corpus.find "mini-sieve") in
+  let rewrite_once () =
+    let p = Process.load c.Link.cp_x86 in
+    if not (Oracle.advance_to_point p ~budget:30_000_000 2) then
+      Alcotest.fail "program exited before point 2";
+    let image = Dapper_util.Dapper_error.ok_exn (Dapper_criu.Dump.dump p) in
+    ignore
+      (Dapper_util.Dapper_error.ok_exn
+         (Rewrite.rewrite image ~src:c.Link.cp_x86 ~dst:c.Link.cp_arm))
+  in
+  Plan_cache.clear ();
+  let sink = Plan_cache.fresh_counters () in
+  Plan_cache.attach sink;
+  Fun.protect
+    ~finally:(fun () -> Plan_cache.detach sink)
+    (fun () ->
+      rewrite_once ();
+      let m1 = sink.Plan_cache.c_misses and h1 = sink.Plan_cache.c_hits in
+      check Alcotest.bool "cold misses land in the sink" true (m1 > 0);
+      Migrate.reset_run_counters ();
+      check Alcotest.int "globals zeroed by the reset hook" 0
+        (Plan_cache.hits () + Plan_cache.misses ());
+      rewrite_once ();
+      check Alcotest.int "sink misses unaffected by the reset" m1
+        sink.Plan_cache.c_misses;
+      (* warm run hits every plan the cold run built (plus whatever the
+         cold run itself re-hit) *)
+      check Alcotest.int "sink accumulated across the reset"
+        ((2 * h1) + m1)
+        sink.Plan_cache.c_hits);
+  (* detached: further lookups no longer reach the sink *)
+  let snapshot = (sink.Plan_cache.c_hits, sink.Plan_cache.c_misses) in
+  rewrite_once ();
+  check Alcotest.bool "detached sink frozen" true
+    (snapshot = (sink.Plan_cache.c_hits, sink.Plan_cache.c_misses))
+
 let suites =
   [ ( "session",
       [ Alcotest.test_case "run: happy path + stage log" `Quick test_run_happy_path;
@@ -468,4 +635,14 @@ let suites =
         Alcotest.test_case "migration deterministic (images + cost stats)" `Quick
           test_migration_deterministic;
         Alcotest.test_case "stats identical warm vs cold plan cache" `Quick
-          test_stats_warm_vs_cold_plan_cache ] ) ]
+          test_stats_warm_vs_cold_plan_cache;
+        Alcotest.test_case "pipelined transfer overlaps recode" `Quick
+          test_pipelined_overlap;
+        Alcotest.test_case "recode bytes reconcile with stage record" `Quick
+          test_recode_bytes_reconcile;
+        Alcotest.test_case "multi-worker recode cost model" `Quick
+          test_recode_workers_model;
+        Alcotest.test_case "warm memo shrinks recode charge" `Quick
+          test_memo_warm_session;
+        Alcotest.test_case "scoped counters immune to reset" `Quick
+          test_scoped_counters_immune_to_reset ] ) ]
