@@ -8,7 +8,17 @@ module J = Dapper_util.Json
 let required_names =
   [ "dapper/fig5-criu-dump"; "dapper/fig5-rewrite-x86-to-arm";
     "dapper/fig5-rewrite-warm-memo"; "dapper/fig5-pipeline-schedule";
-    "dapper/fig5-criu-restore"; "dapper/redis-recode-x86-to-arm" ]
+    "dapper/fig5-criu-restore"; "dapper/redis-recode-x86-to-arm";
+    "dapper/event-heap-churn"; "dapper/fig8-xl-sched-overhead" ]
+
+(* Placement policies every fig8-xl sweep must cover, and the numeric
+   fields every row must carry. *)
+let required_xl_policies = [ "first-fit"; "energy-aware"; "slo-aware" ]
+
+let required_xl_fields =
+  [ "nodes"; "jobs"; "jobs_done"; "slo_met"; "slo_missed"; "nodes_powered";
+    "jobs_per_kj"; "throughput_per_min"; "events"; "events_per_sim_s";
+    "makespan_ms" ]
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("check_bench: " ^ s); exit 1) fmt
 
@@ -60,5 +70,43 @@ let () =
     (fun want ->
       if not (List.mem want names) then die "%s: missing benchmark %S" file want)
     required_names;
-  Printf.printf "check_bench: %s ok (%d benchmarks, %d required present)\n" file
-    (List.length names) (List.length required_names)
+  let xl_rows =
+    match J.member_opt "fig8_xl" doc with
+    | Some l -> (try J.to_list l with _ -> die "%s: \"fig8_xl\" is not a list" file)
+    | None -> die "%s: missing key \"fig8_xl\"" file
+  in
+  if xl_rows = [] then die "%s: \"fig8_xl\" is empty" file;
+  let xl_policies =
+    List.map
+      (fun row ->
+        let policy =
+          match J.member_opt "policy" row with
+          | Some p ->
+            (try J.to_str p
+             with _ -> die "%s: fig8_xl row \"policy\" is not a string" file)
+          | None -> die "%s: fig8_xl row missing \"policy\"" file
+        in
+        List.iter
+          (fun field ->
+            match J.member_opt field row with
+            | Some v ->
+              (try ignore (J.to_float v)
+               with _ ->
+                 die "%s: fig8_xl %s: %S is not a number" file policy field)
+            | None -> die "%s: fig8_xl %s: missing %S" file policy field)
+          required_xl_fields;
+        (match J.member_opt "jobs_done" row with
+         | Some v when (try J.to_float v <= 0.0 with _ -> false) ->
+           die "%s: fig8_xl %s: jobs_done is zero" file policy
+         | _ -> ());
+        policy)
+      xl_rows
+  in
+  List.iter
+    (fun want ->
+      if not (List.mem want xl_policies) then
+        die "%s: fig8_xl missing policy %S" file want)
+    required_xl_policies;
+  Printf.printf
+    "check_bench: %s ok (%d benchmarks, %d required present, %d fig8-xl rows)\n"
+    file (List.length names) (List.length required_names) (List.length xl_rows)

@@ -4,7 +4,9 @@
 let experiments =
   [ ("fig5", Experiments.fig5); ("fig5-pipelined", Experiments.fig5_pipelined);
     ("fig6", Experiments.fig6); ("fig7", Experiments.fig7);
-    ("fig8", Experiments.fig8); ("fig8-fleet", Experiments.fig8_fleet); ("fig9", Experiments.fig9); ("fig10", Experiments.fig10);
+    ("fig8", Experiments.fig8); ("fig8-fleet", Experiments.fig8_fleet);
+    ("fig8-xl", Experiments.fig8_xl); ("fig9", Experiments.fig9);
+    ("fig10", Experiments.fig10);
     ("fig11", Experiments.fig11); ("exploits", Experiments.exploits);
     ("ablation", Experiments.ablation); ("rerand", Experiments.rerand);
     ("bechamel", Micro.run) ]

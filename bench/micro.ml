@@ -114,6 +114,27 @@ let tests () =
             (Dapper_criu.Images.to_files image)));
       Test.make ~name:"fig8-scheduler-30min" (Staged.stage (fun () ->
           ignore (Scheduler.run cfg kinds)));
+      (* The event queue itself: push 4096 entries with scattered times
+         and drain them — the per-event log-time cost every simulator
+         loop above pays. *)
+      Test.make ~name:"event-heap-churn" (Staged.stage (fun () ->
+          let h = Dapper_util.Event_heap.create ~capacity:4096 () in
+          let state = ref 0x2545F4914F6C in
+          for i = 0 to 4095 do
+            state := ((!state * 25214903917) + 11) land 0xFFFF_FFFF_FFFF;
+            Dapper_util.Event_heap.push h ~key:(i land 7)
+              ~time:(float (!state land 0xFFFF)) i
+          done;
+          ignore (Dapper_util.Event_heap.drain h)));
+      (* Engine overhead of the scaled fleet simulator: a full 10-node /
+         1k-job fig8-xl run, so ns/run here divided by x_events is the
+         per-event dispatch cost at small scale. *)
+      Test.make ~name:"fig8-xl-sched-overhead" (Staged.stage (fun () ->
+          ignore
+            (Fleet_xl.run
+               (Experiments.fig8_xl_config ~nodes:10 ~jobs:1_000
+                  ~policy:Placement.First_fit)
+               kinds)));
       Test.make ~name:"fig9-shuffle-sbi" (Staged.stage (fun () ->
           ignore (Shuffle.shuffle_binary (Dapper_util.Rng.create 1L) c.Link.cp_x86)));
       Test.make ~name:"fig10-entropy" (Staged.stage (fun () ->
@@ -215,16 +236,43 @@ let run_micro ?(json = false) ?(smoke = false) ?trace () =
               ("ns_per_run", match est with Some e -> J.Float e | None -> J.Null) ])
         rows
     in
+    (* fig8-xl sweep rows ride along in the same results file so the
+       schema gate can hold the scaled-fleet numbers to account. Smoke
+       (CI) trims the sweep to <= 1k nodes; a full run covers the 10k /
+       1M point too. *)
+    let xl_rows =
+      Experiments.fig8_xl_sweep ~max_nodes:(if smoke then 1_000 else 10_000) ()
+    in
+    let xl_entries =
+      List.map
+        (fun (r : Experiments.xl_row) ->
+          let s = r.Experiments.xr_stats in
+          J.Obj
+            [ ("policy", J.String r.Experiments.xr_policy);
+              ("nodes", J.Float (float r.Experiments.xr_nodes));
+              ("jobs", J.Float (float r.Experiments.xr_jobs));
+              ("jobs_done", J.Float (float s.Fleet_xl.x_jobs_done));
+              ("slo_met", J.Float (float s.Fleet_xl.x_slo_met));
+              ("slo_missed", J.Float (float s.Fleet_xl.x_slo_missed));
+              ("nodes_powered", J.Float (float s.Fleet_xl.x_nodes_powered));
+              ("jobs_per_kj", J.Float s.Fleet_xl.x_jobs_per_kj);
+              ("throughput_per_min", J.Float s.Fleet_xl.x_throughput_per_min);
+              ("events", J.Float (float s.Fleet_xl.x_events));
+              ("events_per_sim_s", J.Float s.Fleet_xl.x_events_per_sim_s);
+              ("makespan_ms", J.Float s.Fleet_xl.x_makespan_ms) ])
+        xl_rows
+    in
     let doc =
       J.Obj
         [ ("suite", J.String "dapper-micro"); ("smoke", J.Bool smoke);
-          ("benchmarks", J.List entries) ]
+          ("benchmarks", J.List entries); ("fig8_xl", J.List xl_entries) ]
     in
     let oc = open_out results_file in
     output_string oc (J.to_string doc);
     output_char oc '\n';
     close_out oc;
-    Printf.printf "wrote %s (%d benchmarks)\n" results_file (List.length entries)
+    Printf.printf "wrote %s (%d benchmarks, %d fig8-xl rows)\n" results_file
+      (List.length entries) (List.length xl_entries)
   end;
   Option.iter run_trace trace
 

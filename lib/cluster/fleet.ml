@@ -7,6 +7,7 @@ module Trace = Dapper_obs.Trace
 module Metrics = Dapper_obs.Metrics
 
 let m_quanta = Metrics.counter "fleet.quanta"
+let m_events = Metrics.counter "fleet.events"
 let m_jobs_done = Metrics.counter "fleet.jobs_done"
 let m_evictions = Metrics.counter "fleet.evictions"
 let m_eviction_retries = Metrics.counter "fleet.eviction_retries"
@@ -27,13 +28,15 @@ type config = {
   f_pause_budget : int;
   f_transport : Transport.t;
   f_fault : Fault.t option;
+  f_placement : Placement.t;
 }
 
 let default_config =
   { f_window_ms = 30_000.0; f_quantum_ms = 50.0; f_xeon_slots = 7; f_rpis = 3;
     f_rpi_slots_each = 3; f_evict = true; f_bytes_scale = 1.0;
     f_job_fuel = 50_000_000; f_speed_scale = 4200.0; f_pause_budget = 50_000_000;
-    f_transport = Transport.scp Dapper_net.Link.infiniband; f_fault = None }
+    f_transport = Transport.scp Dapper_net.Link.infiniband; f_fault = None;
+    f_placement = Placement.Latest_start }
 
 type stats = {
   f_jobs_done : int;
@@ -46,6 +49,7 @@ type stats = {
   f_migration_ms_total : float;
   f_energy_kj : float;
   f_jobs_per_kj : float;
+  f_events : int;
 }
 
 exception Fleet_error of string
@@ -64,12 +68,26 @@ type running = {
 }
 
 type slot = {
+  s_idx : int;                 (** global slot index: xeons, then pis *)
   s_node : Node.t;
   mutable s_job : running option;
   mutable s_busy_ms : float;
   mutable s_stall_ms : float;  (** time owed (e.g. migration overhead) *)
   mutable s_dead : bool;       (** node killed by the fault plane *)
 }
+
+(* The engine's heap events. Each carries the quantum index it fires in;
+   within a quantum, key order runs the boundary bookkeeping first, then
+   eviction attempts in Pi-slot order, then slot advances in global slot
+   order — the exact phase order of the old per-quantum scan. *)
+type event =
+  | Boundary       (** quantum boundary: refill Xeon slots, arm evictions *)
+  | Evict of int   (** eviction attempt onto free Pi slot [i] *)
+  | Advance of int (** advance the job on global slot [i] by one quantum *)
+
+let key_boundary = 0
+let key_evict i = 1 + i
+let key_advance i = 1_000_000 + i
 
 let run config (jobs : Link.compiled list) =
   if jobs = [] then raise (Fleet_error "no jobs");
@@ -81,14 +99,14 @@ let run config (jobs : Link.compiled list) =
     j
   in
   let xeon_slots =
-    Array.init config.f_xeon_slots (fun _ ->
-        { s_node = Node.xeon; s_job = None; s_busy_ms = 0.0; s_stall_ms = 0.0;
-          s_dead = false })
+    Array.init config.f_xeon_slots (fun i ->
+        { s_idx = i; s_node = Node.xeon; s_job = None; s_busy_ms = 0.0;
+          s_stall_ms = 0.0; s_dead = false })
   in
   let rpi_slots =
-    Array.init (config.f_rpis * config.f_rpi_slots_each) (fun _ ->
-        { s_node = Node.rpi; s_job = None; s_busy_ms = 0.0; s_stall_ms = 0.0;
-          s_dead = false })
+    Array.init (config.f_rpis * config.f_rpi_slots_each) (fun i ->
+        { s_idx = config.f_xeon_slots + i; s_node = Node.rpi; s_job = None;
+          s_busy_ms = 0.0; s_stall_ms = 0.0; s_dead = false })
   in
   let done_total = ref 0 and done_rpi = ref 0 in
   let evictions = ref 0 and eviction_failures = ref 0 in
@@ -109,35 +127,43 @@ let run config (jobs : Link.compiled list) =
       Some { r_proc = Process.load bin; r_compiled = compiled; r_started_quantum = quantum }
   in
   let quanta = int_of_float (config.f_window_ms /. config.f_quantum_ms) in
-  for q = 0 to quanta - 1 do
-    Metrics.inc m_quanta;
-    Trace.enter ~cat:"fleet" "quantum" ~args:[ ("q", string_of_int q) ];
-    (* fill free Xeon slots from the queue *)
-    Array.iter (fun s -> if s.s_job = None then start_job s q) xeon_slots;
-    (* eviction: queue is backed up (all xeon busy) and a Pi is free *)
-    if config.f_evict then
-      Array.iter
-        (fun pi ->
-          if
-            pi.s_job = None && (not pi.s_dead)
-            && Array.for_all (fun s -> s.s_job <> None) xeon_slots
-          then begin
-            (* evict the most recently started xeon job (least sunk cost) *)
-            let victim =
-              Array.fold_left
-                (fun best s ->
-                  match (best, s.s_job) with
-                  | None, Some _ -> Some s
-                  | Some b, Some j ->
-                    (match b.s_job with
-                     | Some jb when j.r_started_quantum > jb.r_started_quantum -> Some s
-                     | _ -> best)
-                  | _, None -> best)
-                None xeon_slots
-            in
-            match victim with
-            | None -> ()
-            | Some vs ->
+  let all_slots = Array.append xeon_slots rpi_slots in
+  let heap : (int * event) Event_heap.t = Event_heap.create () in
+  let time_of q = float_of_int q *. config.f_quantum_ms in
+  let push_ev q key ev = Event_heap.push heap ~key ~time:(time_of q) (q, ev) in
+  let events = ref 0 in
+  (* One eviction attempt onto free Pi slot [pi] during quantum [q] —
+     the old per-quantum scan body, now fired as a heap event. The
+     armed conditions are re-checked here; between arming (at the
+     boundary) and firing, only earlier evictions of the same quantum
+     run, and those never free a Xeon slot or touch another Pi. *)
+  let attempt_eviction q pi =
+    if
+      pi.s_job = None && (not pi.s_dead)
+      && Array.for_all (fun s -> s.s_job <> None) xeon_slots
+    then begin
+      (* the policy picks the victim among busy xeon slots (in slot
+         order); the default [Latest_start] reproduces the old
+         hardcoded most-recently-started fold exactly *)
+      let candidates =
+        Array.to_list xeon_slots
+        |> List.filter_map (fun s ->
+               match s.s_job with
+               | None -> None
+               | Some j ->
+                 Some
+                   { Placement.vc_index = s.s_idx;
+                     vc_started_ms =
+                       float_of_int j.r_started_quantum *. config.f_quantum_ms })
+      in
+      let victim =
+        Option.map
+          (fun v -> xeon_slots.(v.Placement.vc_index))
+          (Placement.choose_victim config.f_placement candidates)
+      in
+      match victim with
+      | None -> ()
+      | Some vs ->
               let job = Option.get vs.s_job in
               let src_bin =
                 Link.binary_for job.r_compiled Dapper_isa.Arch.X86_64
@@ -191,7 +217,11 @@ let run config (jobs : Link.compiled list) =
                      Some { r_proc = r.Session.r_process; r_compiled = job.r_compiled;
                             r_started_quantum = q };
                    vs.s_job <- None;
-                   start_job vs q
+                   start_job vs q;
+                   (* the destination starts progressing this same quantum,
+                      as the old advance pass gave it; the victim's pending
+                      advance covers its replacement job *)
+                   push_ev q (key_advance pi.s_idx) (Advance pi.s_idx)
                  | Error e ->
                    (* The session's rollback already resumed the source. A
                       transient failure (drain budget exhausted, transfer
@@ -223,46 +253,96 @@ let run config (jobs : Link.compiled list) =
                       vs.s_stall_ms <-
                         settle_failed_eviction ~owed_ms:vs.s_stall_ms
                           ~charged_ms:0.0))
-          end)
-        rpi_slots;
-    (* advance every busy slot by one quantum *)
+    end
+  in
+  (* Advance the job on slot [s] through quantum [q] — the old
+     per-quantum progress pass, now one heap event per busy slot per
+     quantum. A slot whose job survives the quantum reschedules its own
+     advance; a freed slot goes quiet until the next boundary (Xeon) or
+     eviction (Pi) gives it work again. *)
+  let advance q s =
+    match s.s_job with
+    | None -> ()
+    | Some job ->
+      s.s_busy_ms <- s.s_busy_ms +. config.f_quantum_ms;
+      (if s.s_stall_ms >= config.f_quantum_ms then
+         s.s_stall_ms <- s.s_stall_ms -. config.f_quantum_ms
+       else begin
+         let effective_ms = config.f_quantum_ms -. s.s_stall_ms in
+         s.s_stall_ms <- 0.0;
+         let instrs =
+           int_of_float
+             (effective_ms *. s.s_node.Node.n_ops_per_ns *. 1e6
+              /. config.f_speed_scale)
+         in
+         match Process.run job.r_proc ~max_instrs:(min instrs config.f_job_fuel) with
+         | Process.Exited_run _ ->
+           incr done_total;
+           Metrics.inc m_jobs_done;
+           if s.s_node.Node.n_arch = Dapper_isa.Arch.Aarch64 then incr done_rpi;
+           s.s_job <- None
+         | Process.Crashed cr ->
+           raise (Fleet_error ("job crashed: " ^ cr.Process.cr_reason))
+         | Process.Progress -> ()
+         | Process.Idle -> raise (Fleet_error "job deadlocked")
+       end);
+      if s.s_job <> None && q + 1 < quanta then
+        push_ev (q + 1) (key_advance s.s_idx) (Advance s.s_idx)
+  in
+  (* Quantum boundary: refill every idle Xeon slot (the queue is
+     infinite, so the fast tier never sits idle past a boundary), arm
+     one eviction attempt per free live Pi slot, and schedule the next
+     boundary. *)
+  let boundary q =
     Array.iter
       (fun s ->
-        match s.s_job with
-        | None -> ()
-        | Some job ->
-          s.s_busy_ms <- s.s_busy_ms +. config.f_quantum_ms;
-          if s.s_stall_ms >= config.f_quantum_ms then
-            s.s_stall_ms <- s.s_stall_ms -. config.f_quantum_ms
-          else begin
-            let effective_ms = config.f_quantum_ms -. s.s_stall_ms in
-            s.s_stall_ms <- 0.0;
-            let instrs =
-              int_of_float
-                (effective_ms *. s.s_node.Node.n_ops_per_ns *. 1e6
-                 /. config.f_speed_scale)
-            in
-            match Process.run job.r_proc ~max_instrs:(min instrs config.f_job_fuel) with
-            | Process.Exited_run _ ->
-              incr done_total;
-              Metrics.inc m_jobs_done;
-              if s.s_node.Node.n_arch = Dapper_isa.Arch.Aarch64 then incr done_rpi;
-              s.s_job <- None
-            | Process.Crashed cr ->
-              raise (Fleet_error ("job crashed: " ^ cr.Process.cr_reason))
-            | Process.Progress -> ()
-            | Process.Idle -> raise (Fleet_error "job deadlocked")
-          end)
-      (Array.append xeon_slots rpi_slots);
-    (* each quantum accounts for [f_quantum_ms] of window wall time; an
-       eviction's session spans may already have charged more *)
-    Trace.leave ~dur_ns:(config.f_quantum_ms *. 1e6) ()
-  done;
+        if s.s_job = None then begin
+          start_job s q;
+          push_ev q (key_advance s.s_idx) (Advance s.s_idx)
+        end)
+      xeon_slots;
+    if config.f_evict then
+      Array.iter
+        (fun pi ->
+          if pi.s_job = None && not pi.s_dead then
+            push_ev q (key_evict pi.s_idx) (Evict pi.s_idx))
+        rpi_slots;
+    if q + 1 < quanta then push_ev (q + 1) key_boundary Boundary
+  in
+  (* Drain the heap. Trace spans still group per quantum index so the
+     trace shape matches the old loop; each quantum accounts for
+     [f_quantum_ms] of window wall time (an eviction's session spans may
+     already have charged more). *)
+  let open_q = ref (-1) in
+  let leave_quantum () =
+    if !open_q >= 0 then Trace.leave ~dur_ns:(config.f_quantum_ms *. 1e6) ()
+  in
+  let enter_quantum q =
+    leave_quantum ();
+    Trace.enter ~cat:"fleet" "quantum" ~args:[ ("q", string_of_int q) ];
+    Metrics.inc m_quanta;
+    open_q := q
+  in
+  if quanta > 0 then push_ev 0 key_boundary Boundary;
+  let rec drain () =
+    match Event_heap.pop heap with
+    | None -> ()
+    | Some (_, (q, ev)) ->
+      incr events;
+      Metrics.inc m_events;
+      if q <> !open_q then enter_quantum q;
+      (match ev with
+       | Boundary -> boundary q
+       | Evict i -> attempt_eviction q all_slots.(i)
+       | Advance i -> advance q all_slots.(i));
+      drain ()
+  in
+  drain ();
+  leave_quantum ();
   let busy arch =
     Array.fold_left
       (fun acc s -> if s.s_node.Node.n_arch = arch then acc +. s.s_busy_ms else acc)
-      0.0
-      (Array.append xeon_slots rpi_slots)
+      0.0 all_slots
     /. 1000.0
   in
   let window_s = config.f_window_ms /. 1000.0 in
@@ -283,4 +363,5 @@ let run config (jobs : Link.compiled list) =
         (Hashtbl.fold (fun app n acc -> (app, n) :: acc) recoveries []);
     f_migration_ms_total = !migration_ms;
     f_energy_kj = energy_j /. 1000.0;
-    f_jobs_per_kj = float_of_int !done_total /. (energy_j /. 1000.0) }
+    f_jobs_per_kj = float_of_int !done_total /. (energy_j /. 1000.0);
+    f_events = !events }

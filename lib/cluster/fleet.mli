@@ -13,7 +13,16 @@
     Time advances in fixed quanta; each busy slot interprets
     [quantum_ms x ops/ms] instructions of its job per quantum, so
     heterogenous speeds, migration overheads and energy all come from
-    the same clock. *)
+    the same clock.
+
+    The engine is event-driven: quantum boundaries, eviction attempts
+    and per-slot advances are entries in a shared {!Event_heap} rather
+    than per-quantum scans over every slot. Within a timestamp, event
+    keys replay the old scan's phase order exactly (boundary
+    bookkeeping, then evictions in Pi-slot order, then advances in
+    global slot order), so results — including trace and metrics
+    output — are identical to the former quantum-scan loop; only idle
+    slots no longer cost work. *)
 
 open Dapper_util
 open Dapper_net
@@ -44,6 +53,9 @@ type config = {
       (** chaos plane threaded into every eviction session; also drawn
           at {!Fault.Dest_node} before each eviction — a crash kills the
           destination node for the rest of the window *)
+  f_placement : Placement.t;
+      (** victim-selection policy for evictions (default
+          {!Placement.Latest_start}, the seed behaviour) *)
 }
 
 val default_config : config
@@ -69,6 +81,9 @@ type stats = {
   f_migration_ms_total : float;
   f_energy_kj : float;
   f_jobs_per_kj : float;
+  f_events : int;
+      (** heap events processed over the window — the engine's work, in
+          place of the former [quanta x slots] scan cost *)
 }
 
 exception Fleet_error of string

@@ -1,0 +1,68 @@
+(** Pluggable placement policies for eviction scheduling.
+
+    A policy makes the two decisions the fleet engines delegate:
+
+    - {b victim} selection — which running job to evict from the loaded
+      fast tier ({!choose_victim}, used by the process-level
+      {!Fleet});
+    - {b destination} selection — which slow-tier node class hosts an
+      evicted job ({!choose_dest}, used by the datacenter-scale
+      {!Fleet_xl}, whose slow tier is heterogeneous).
+
+    Every choice is deterministic: candidates are presented in slot /
+    class order and every rule breaks ties on the earliest candidate,
+    so two runs of the same configuration place identically. *)
+
+type t =
+  | Latest_start
+      (** evict the most recently started job (least sunk cost) — the
+          seed fleet's hardcoded rule, and first-free destination *)
+  | First_fit
+      (** evict the first busy slot; pack destinations onto the
+          lowest-numbered free slot (bin-packing) *)
+  | Energy_aware
+      (** evict the longest-running job (most fast-tier energy saved by
+          finishing it on the efficient tier); destination with the
+          lowest active watts per unit of speed *)
+  | Slo_aware
+      (** evict the most recently started job (least progress at risk);
+          cheapest destination whose estimated completion meets the
+          job's deadline, else the fastest *)
+
+val name : t -> string
+
+(** Inverse of {!name}; [None] for unknown names. *)
+val of_string : string -> t option
+
+val all : t list
+
+(** An eviction candidate: a busy fast-tier slot. [vc_index] is the
+    caller's slot identifier; candidates must be listed in slot order. *)
+type victim = { vc_index : int; vc_started_ms : float }
+
+(** The chosen victim, or [None] when there are no candidates.
+    [Latest_start] reproduces the seed fleet's fold exactly: maximum
+    start time, earliest slot on ties. *)
+val choose_victim : t -> victim list -> victim option
+
+(** A destination candidate: a slow-tier node class with at least one
+    free slot. [dc_lowest_slot] is the smallest free slot id in the
+    class (global bin-packing order); [dc_est_ms] the estimated
+    wait + migration + execution time of the job being placed there. *)
+type dest = {
+  dc_index : int;
+  dc_lowest_slot : int;
+  dc_ops_per_ns : float;
+  dc_core_w : float;
+  dc_est_ms : float;
+}
+
+(** Active watts divided by speed: joules charged per unit of work —
+    the quantity energy-aware placement minimizes. *)
+val watts_per_speed : dest -> float
+
+(** The chosen destination, or [None] when there are no candidates.
+    [deadline_ms] only affects [Slo_aware]: prefer the cheapest
+    candidate with [dc_est_ms <= deadline_ms], falling back to the
+    fastest when none meets it. *)
+val choose_dest : t -> ?deadline_ms:float -> dest list -> dest option

@@ -1,3 +1,4 @@
+open Dapper_util
 open Dapper_net
 
 type job_kind = {
@@ -31,21 +32,29 @@ let default_window_ms = 30.0 *. 60.0 *. 1000.0
 let xeon_node = Node.xeon
 let rpi_node = Node.rpi
 
-type slot = { s_is_rpi : bool; mutable s_free_at : float; mutable s_busy_ms : float }
+type slot = { s_idx : int; s_is_rpi : bool; mutable s_busy_ms : float }
 
 (* Discrete-event loop: each slot pulls the next job from the infinite
    round-robin queue the moment it frees up; a job counts if it finishes
    inside the window. Pi slots pay the eviction (migration) overhead on
    every job, as in the paper's setup where the scheduler moves the job
-   to the board after it started on the loaded server. *)
+   to the board after it started on the loaded server.
+
+   Slot free times live in an {!Event_heap} keyed by slot index, so each
+   dispatch is O(log slots) instead of the former O(slots) fold — and
+   the (time, key) tie-break reproduces that fold's hand-out exactly:
+   jobs go to the earliest-freeing slot, earliest slot index on ties, so
+   queue-order job hand-out is unchanged at any fleet size. *)
 let run config kinds =
   if kinds = [] then invalid_arg "Scheduler.run: no job kinds";
   let kinds = Array.of_list kinds in
+  let n_slots = config.c_xeon_slots + (config.c_rpis * config.c_rpi_slots_each) in
   let slots =
-    List.init config.c_xeon_slots (fun _ -> { s_is_rpi = false; s_free_at = 0.0; s_busy_ms = 0.0 })
-    @ List.init (config.c_rpis * config.c_rpi_slots_each) (fun _ ->
-          { s_is_rpi = true; s_free_at = 0.0; s_busy_ms = 0.0 })
+    Array.init n_slots (fun i ->
+        { s_idx = i; s_is_rpi = i >= config.c_xeon_slots; s_busy_ms = 0.0 })
   in
+  let heap = Event_heap.create ~capacity:n_slots () in
+  Array.iter (fun s -> Event_heap.push heap ~key:s.s_idx ~time:0.0 s) slots;
   let queue_pos = ref 0 in
   let next_kind () =
     let k = kinds.(!queue_pos mod Array.length kinds) in
@@ -56,44 +65,38 @@ let run config kinds =
   (* jobs are handed out in queue order: always serve the slot that frees
      up earliest (stable tie-break on slot order) *)
   let rec loop () =
-    let slot =
-      List.fold_left
-        (fun best s ->
-          match best with
-          | None -> Some s
-          | Some b -> if s.s_free_at < b.s_free_at then Some s else best)
-        None slots
-      |> Option.get
-    in
-    if slot.s_free_at >= config.c_window_ms then ()
-    else begin
-      let kind = next_kind () in
-      let dur =
-        if slot.s_is_rpi then kind.jk_rpi_ms +. kind.jk_migration_ms else kind.jk_xeon_ms
-      in
-      let finish = slot.s_free_at +. dur in
-      if finish <= config.c_window_ms then begin
-        incr done_total;
-        if slot.s_is_rpi then incr done_rpi else incr done_xeon;
-        slot.s_busy_ms <- slot.s_busy_ms +. dur
+    match Event_heap.pop heap with
+    | None -> ()
+    | Some (free_at, slot) ->
+      if free_at >= config.c_window_ms then ()
+      else begin
+        let kind = next_kind () in
+        let dur =
+          if slot.s_is_rpi then kind.jk_rpi_ms +. kind.jk_migration_ms else kind.jk_xeon_ms
+        in
+        let finish = free_at +. dur in
+        if finish <= config.c_window_ms then begin
+          incr done_total;
+          if slot.s_is_rpi then incr done_rpi else incr done_xeon;
+          slot.s_busy_ms <- slot.s_busy_ms +. dur
+        end
+        else
+          (* partial job at the window edge still burns the remaining time *)
+          slot.s_busy_ms <- slot.s_busy_ms +. (config.c_window_ms -. free_at);
+        Event_heap.push heap ~key:slot.s_idx ~time:finish slot;
+        loop ()
       end
-      else
-        (* partial job at the window edge still burns the remaining time *)
-        slot.s_busy_ms <- slot.s_busy_ms +. (config.c_window_ms -. slot.s_free_at);
-      slot.s_free_at <- finish;
-      loop ()
-    end
   in
   loop ();
   (* Energy: idle power over the whole window per machine, plus per-core
      active power over busy time. *)
   let window_s = config.c_window_ms /. 1000.0 in
   let xeon_busy_s =
-    List.fold_left (fun acc s -> if s.s_is_rpi then acc else acc +. (s.s_busy_ms /. 1000.0))
+    Array.fold_left (fun acc s -> if s.s_is_rpi then acc else acc +. (s.s_busy_ms /. 1000.0))
       0.0 slots
   in
   let rpi_busy_s =
-    List.fold_left (fun acc s -> if s.s_is_rpi then acc +. (s.s_busy_ms /. 1000.0) else acc)
+    Array.fold_left (fun acc s -> if s.s_is_rpi then acc +. (s.s_busy_ms /. 1000.0) else acc)
       0.0 slots
   in
   let energy_j =

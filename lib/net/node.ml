@@ -20,6 +20,18 @@ let rpi =
   { n_name = "rpi"; n_arch = Arch.Aarch64; n_cores = 4; n_ops_per_ns = 1.5;
     n_mem_gbps = 0.12; n_idle_w = 2.1; n_core_w = 1.0 }
 
+(* Heterogeneous slow-tier classes for datacenter-scale sweeps. The
+   Pi 5 (4x Cortex-A76 @ 2.4 GHz) trades a little efficiency for ~1.5x
+   the Pi 4's speed; the Jetson-class board is faster still but its DVFS
+   floor makes it the least efficient of the three per unit of work. *)
+let rpi5 =
+  { n_name = "rpi5"; n_arch = Arch.Aarch64; n_cores = 4; n_ops_per_ns = 2.2;
+    n_mem_gbps = 0.2; n_idle_w = 3.0; n_core_w = 1.6 }
+
+let jetson =
+  { n_name = "jetson"; n_arch = Arch.Aarch64; n_cores = 6; n_ops_per_ns = 3.0;
+    n_mem_gbps = 0.3; n_idle_w = 5.0; n_core_w = 2.8 }
+
 let exec_ns n instrs = Int64.to_float instrs /. n.n_ops_per_ns
 
 let power_w n ~busy = n.n_idle_w +. (float_of_int (min busy n.n_cores) *. n.n_core_w)

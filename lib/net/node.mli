@@ -21,6 +21,14 @@ type t = {
 val xeon : t
 val rpi : t
 
+(** Faster slow-tier classes for heterogeneous, datacenter-scale
+    sweeps: a Raspberry Pi 5 (~1.5x the Pi 4's speed at a slightly
+    worse watts-per-speed) and a Jetson-class board (fastest of the
+    three, least efficient per unit of work). *)
+val rpi5 : t
+
+val jetson : t
+
 (** Nanoseconds to execute [instrs] simulator instructions on one core. *)
 val exec_ns : t -> int64 -> float
 

@@ -171,6 +171,205 @@ let test_fleet_chaos_recovers () =
     (st.Fleet.f_eviction_retries + st.Fleet.f_eviction_failures)
     recovered
 
+(* ----- equivalence gate: the event-driven engines reproduce the seed -----
+
+   The quantum-scan loops were replaced by heap-event engines; these
+   fingerprints were captured from the seed implementation (commit
+   ef5e10d) with the exact fixtures above. Every figure-relevant field
+   is pinned at full float precision: a one-ulp drift or a reordered
+   eviction fails the gate. *)
+
+let sched_fp r =
+  Printf.sprintf "jobs=%d xeon=%d rpi=%d energy=%.6f jpk=%.6f thr=%.6f"
+    r.Scheduler.r_jobs_done r.r_jobs_xeon r.r_jobs_rpi r.r_energy_kj
+    r.r_jobs_per_kj r.r_throughput_per_min
+
+let fleet_fp st =
+  Printf.sprintf
+    "jobs=%d rpi=%d ev=%d evf=%d evr=%d lost=%d mig=%.6f energy=%.6f jpk=%.6f recov=[%s]"
+    st.Fleet.f_jobs_done st.f_jobs_done_rpi st.f_evictions
+    st.f_eviction_failures st.f_eviction_retries st.f_nodes_lost
+    st.f_migration_ms_total st.f_energy_kj st.f_jobs_per_kj
+    (String.concat ";"
+       (List.map (fun (a, n) -> Printf.sprintf "%s,%d" a n) st.f_recoveries))
+
+let test_scheduler_matches_seed () =
+  List.iter
+    (fun (rpis, golden) ->
+      check Alcotest.string
+        (Printf.sprintf "scheduler seed fingerprint, %d rpis" rpis)
+        golden
+        (sched_fp (Scheduler.run { base_config with c_rpis = rpis } kinds)))
+    [ (0, "jobs=1523 xeon=1523 rpi=0 energy=194.400000 jpk=7.834362 thr=50.766667");
+      (1, "jobs=1741 xeon=1487 rpi=254 energy=203.580000 jpk=8.551921 thr=58.033333");
+      (3, "jobs=2183 xeon=1529 rpi=654 energy=221.940000 jpk=9.835992 thr=72.766667") ]
+
+let test_fleet_matches_seed () =
+  check Alcotest.string "fleet seed fingerprint, evicting"
+    "jobs=27 rpi=7 ev=9 evf=0 evr=0 lost=0 mig=251.383580 energy=0.869400 jpk=31.055901 recov=[]"
+    (fleet_fp (Fleet.run fleet_config (fleet_jobs ())));
+  check Alcotest.string "fleet seed fingerprint, eviction off"
+    "jobs=21 rpi=0 ev=0 evf=0 evr=0 lost=0 mig=0.000000 energy=0.841400 jpk=24.958403 recov=[]"
+    (fleet_fp (Fleet.run { fleet_config with f_evict = false } (fleet_jobs ())))
+
+(* The chaos re-sweep: fault draws and node-loss now fire from heap
+   events, and must replay the seed's draw sequence exactly. *)
+let test_fleet_chaos_matches_seed () =
+  check Alcotest.string "fleet seed fingerprint, chaos + retrying transport"
+    "jobs=26 rpi=5 ev=6 evf=0 evr=11 lost=1 mig=250.920175 energy=0.863450 jpk=30.111761 recov=[nginx,11]"
+    (fleet_fp
+       (Fleet.run
+          { fleet_config with
+            Fleet.f_transport =
+              Dapper_net.Transport.retrying
+                (Dapper_net.Transport.scp Dapper_net.Link.infiniband);
+            f_fault =
+              Some (Dapper_util.Fault.make ~seed:7 (Dapper_util.Fault.uniform 0.15)) }
+          (fleet_jobs ())));
+  check Alcotest.string "fleet seed fingerprint, certain node loss"
+    "jobs=21 rpi=0 ev=0 evf=0 evr=2 lost=2 mig=0.000000 energy=0.841400 jpk=24.958403 recov=[nginx,2]"
+    (fleet_fp
+       (Fleet.run
+          { fleet_config with
+            Fleet.f_fault =
+              Some
+                (Dapper_util.Fault.make ~seed:1
+                   { Dapper_util.Fault.calm with Dapper_util.Fault.fs_kill_node = 1.0 }) }
+          (fleet_jobs ())))
+
+let test_fleet_event_accounting () =
+  (* the event count is the engine's work: at least one boundary per
+     quantum, and far fewer events than the old [quanta x slots] scan *)
+  let st = Fleet.run fleet_config (fleet_jobs ()) in
+  let quanta =
+    int_of_float (fleet_config.Fleet.f_window_ms /. fleet_config.Fleet.f_quantum_ms)
+  in
+  let slots =
+    fleet_config.Fleet.f_xeon_slots
+    + (fleet_config.Fleet.f_rpis * fleet_config.Fleet.f_rpi_slots_each)
+  in
+  let rpi_slots = fleet_config.Fleet.f_rpis * fleet_config.Fleet.f_rpi_slots_each in
+  check Alcotest.bool "at least one event per quantum" true (st.Fleet.f_events >= quanta);
+  (* per quantum: one boundary, at most one advance per slot, at most
+     one eviction attempt per pi slot *)
+  check Alcotest.bool "bounded by the quantum scan" true
+    (st.Fleet.f_events <= quanta * (slots + rpi_slots + 1))
+
+(* ----- placement policies ----- *)
+
+let victims =
+  [ { Placement.vc_index = 0; vc_started_ms = 100.0 };
+    { Placement.vc_index = 1; vc_started_ms = 300.0 };
+    { Placement.vc_index = 2; vc_started_ms = 300.0 };
+    { Placement.vc_index = 3; vc_started_ms = 50.0 } ]
+
+let test_placement_victims () =
+  let pick p = Option.get (Placement.choose_victim p victims) in
+  check Alcotest.int "latest-start: max start, first on ties" 1
+    (pick Placement.Latest_start).Placement.vc_index;
+  check Alcotest.int "slo-aware evicts like latest-start" 1
+    (pick Placement.Slo_aware).Placement.vc_index;
+  check Alcotest.int "first-fit: first busy slot" 0
+    (pick Placement.First_fit).Placement.vc_index;
+  check Alcotest.int "energy-aware: longest-running job" 3
+    (pick Placement.Energy_aware).Placement.vc_index;
+  check Alcotest.bool "no candidates" true
+    (Placement.choose_victim Placement.Latest_start [] = None)
+
+let dests =
+  [ { Placement.dc_index = 0; dc_lowest_slot = 10; dc_ops_per_ns = 3.0;
+      dc_core_w = 2.8; dc_est_ms = 140.0 };
+    { Placement.dc_index = 1; dc_lowest_slot = 20; dc_ops_per_ns = 2.2;
+      dc_core_w = 1.6; dc_est_ms = 190.0 };
+    { Placement.dc_index = 2; dc_lowest_slot = 30; dc_ops_per_ns = 1.5;
+      dc_core_w = 1.0; dc_est_ms = 280.0 } ]
+
+let test_placement_dests () =
+  let pick ?deadline_ms p =
+    Option.get (Placement.choose_dest p ?deadline_ms dests)
+  in
+  check Alcotest.int "first-fit packs the lowest slot" 0
+    (pick Placement.First_fit).Placement.dc_index;
+  check Alcotest.int "latest-start places first-free" 0
+    (pick Placement.Latest_start).Placement.dc_index;
+  check Alcotest.int "energy-aware: best watts-per-speed" 2
+    (pick Placement.Energy_aware).Placement.dc_index;
+  check Alcotest.int "slo-aware: cheapest meeting the deadline" 1
+    (pick ~deadline_ms:200.0 Placement.Slo_aware).Placement.dc_index;
+  check Alcotest.int "slo-aware: loose deadline, cheapest overall" 2
+    (pick ~deadline_ms:1000.0 Placement.Slo_aware).Placement.dc_index;
+  check Alcotest.int "slo-aware: hopeless deadline, fastest" 0
+    (pick ~deadline_ms:10.0 Placement.Slo_aware).Placement.dc_index;
+  check Alcotest.bool "name/of_string roundtrip" true
+    (List.for_all
+       (fun p -> Placement.of_string (Placement.name p) = Some p)
+       Placement.all)
+
+(* ----- the datacenter-scale engine ----- *)
+
+let xl_config ~policy =
+  { Fleet_xl.x_window_ms = 86_400_000.0;
+    x_xeon_slots = 7;
+    x_classes =
+      [ { Fleet_xl.xc_node = Dapper_net.Node.jetson; xc_nodes = 2; xc_slots_per_node = 4 };
+        { xc_node = Dapper_net.Node.rpi5; xc_nodes = 3; xc_slots_per_node = 3 };
+        { xc_node = Dapper_net.Node.rpi; xc_nodes = 5; xc_slots_per_node = 3 } ];
+    x_jobs = 1_000;
+    x_placement = policy;
+    x_shards = 4;
+    x_racks = 2;
+    x_page_servers_each = 4;
+    x_slo_factor = 2.5;
+    x_fault = None;
+    x_loss_every_ms = 0.0 }
+
+let test_xl_deterministic () =
+  let a = Fleet_xl.run (xl_config ~policy:Placement.First_fit) kinds in
+  let b = Fleet_xl.run (xl_config ~policy:Placement.First_fit) kinds in
+  check Alcotest.bool "identical runs" true (a = b);
+  check Alcotest.int "batch drains" 1_000 a.Fleet_xl.x_jobs_done;
+  check Alcotest.bool "slow tier used" true (a.Fleet_xl.x_jobs_slow > 0);
+  check Alcotest.bool "migrations queued behind page servers" true
+    (a.Fleet_xl.x_rack_queue_ms > 0.0);
+  check Alcotest.bool "events accounted" true
+    (a.Fleet_xl.x_events >= a.Fleet_xl.x_jobs_done)
+
+let test_xl_policies_diverge () =
+  let ff = Fleet_xl.run (xl_config ~policy:Placement.First_fit) kinds in
+  let ea = Fleet_xl.run (xl_config ~policy:Placement.Energy_aware) kinds in
+  let slo = Fleet_xl.run (xl_config ~policy:Placement.Slo_aware) kinds in
+  check Alcotest.int "slo-aware misses no deadline" 0 slo.Fleet_xl.x_slo_missed;
+  check Alcotest.bool "first-fit misses deadlines on the slow boards" true
+    (ff.Fleet_xl.x_slo_missed > 0);
+  check Alcotest.bool "energy-aware powers fewer boards" true
+    (ea.Fleet_xl.x_nodes_powered < ff.Fleet_xl.x_nodes_powered);
+  check Alcotest.bool "first-fit finishes first" true
+    (ff.Fleet_xl.x_makespan_ms <= ea.Fleet_xl.x_makespan_ms);
+  check Alcotest.bool "all policies drain the batch" true
+    (ff.Fleet_xl.x_jobs_done = 1_000 && ea.x_jobs_done = 1_000 && slo.x_jobs_done = 1_000)
+
+(* Chaos at scale: node-loss draws are heap events. A certain-kill
+   fault plane fells one slow node per draw; in-flight jobs on the dead
+   node are voided by their generation counter, re-enqueued, and still
+   finish — the batch never loses a job. *)
+let test_xl_node_loss_events () =
+  let st =
+    Fleet_xl.run
+      { (xl_config ~policy:Placement.First_fit) with
+        Fleet_xl.x_fault =
+          Some
+            (Dapper_util.Fault.make ~seed:5
+               { Dapper_util.Fault.calm with Dapper_util.Fault.fs_kill_node = 1.0 });
+        x_loss_every_ms = 30_000.0 }
+      kinds
+  in
+  check Alcotest.bool "nodes die" true (st.Fleet_xl.x_nodes_lost > 0);
+  check Alcotest.bool "in-flight jobs voided and re-enqueued" true
+    (st.Fleet_xl.x_jobs_lost_in_flight > 0);
+  check Alcotest.int "no job is ever lost" 1_000 st.Fleet_xl.x_jobs_done;
+  check Alcotest.bool "at most the whole slow tier dies" true
+    (st.Fleet_xl.x_nodes_lost <= 10)
+
 let suites =
   [ ( "cluster",
       [ Alcotest.test_case "baseline sane" `Quick test_baseline_sane;
@@ -187,4 +386,18 @@ let suites =
         Alcotest.test_case "fleet: failed-eviction stall settlement" `Quick
           test_settle_failed_eviction;
         Alcotest.test_case "fleet: chaos recovery accounting" `Slow
-          test_fleet_chaos_recovers ] ) ]
+          test_fleet_chaos_recovers;
+        Alcotest.test_case "equivalence gate: scheduler matches seed" `Quick
+          test_scheduler_matches_seed;
+        Alcotest.test_case "equivalence gate: fleet matches seed" `Slow
+          test_fleet_matches_seed;
+        Alcotest.test_case "equivalence gate: chaos fleet matches seed" `Slow
+          test_fleet_chaos_matches_seed;
+        Alcotest.test_case "fleet: event accounting" `Slow test_fleet_event_accounting;
+        Alcotest.test_case "placement: victim selection" `Quick test_placement_victims;
+        Alcotest.test_case "placement: destination selection" `Quick
+          test_placement_dests;
+        Alcotest.test_case "xl: deterministic drain" `Quick test_xl_deterministic;
+        Alcotest.test_case "xl: policies diverge" `Quick test_xl_policies_diverge;
+        Alcotest.test_case "xl: node loss as heap events" `Quick
+          test_xl_node_loss_events ] ) ]

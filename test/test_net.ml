@@ -228,6 +228,91 @@ let test_fetch_page_paths () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+(* ----- sharded job queue ----- *)
+
+let test_shard_queue_round_robin () =
+  let q = Shard_queue.create ~shards:3 [ 0; 1; 2; 3; 4; 5; 6 ] in
+  check Alcotest.int "length" 7 (Shard_queue.length q);
+  check Alcotest.int "shards" 3 (Shard_queue.shards q);
+  (* item i lands in shard i mod 3: shard 0 holds 0,3,6 *)
+  check Alcotest.bool "home pops in FIFO order" true
+    (Shard_queue.pop q ~shard:0 = Some 0 && Shard_queue.pop q ~shard:0 = Some 3);
+  check Alcotest.int "no steals yet" 0 (Shard_queue.steals q);
+  check Alcotest.bool "peek agrees with pop" true
+    (Shard_queue.peek q ~shard:1 = Some 1 && Shard_queue.pop q ~shard:1 = Some 1);
+  check Alcotest.bool "push goes to the named shard" true
+    (Shard_queue.push q ~shard:1 99;
+     Shard_queue.pop q ~shard:1 = Some 4 && Shard_queue.pop q ~shard:1 = Some 99)
+
+let test_shard_queue_stealing () =
+  let q = Shard_queue.create ~shards:3 [ 0; 1; 2 ] in
+  (* drain shard 0's home item, then steal cyclically: 1 (shard 1), 2 (shard 2) *)
+  check Alcotest.bool "home first" true (Shard_queue.pop q ~shard:0 = Some 0);
+  check Alcotest.bool "steals from next shard" true
+    (Shard_queue.pop q ~shard:0 = Some 1);
+  check Alcotest.bool "then the one after" true (Shard_queue.pop q ~shard:0 = Some 2);
+  check Alcotest.int "two steals counted" 2 (Shard_queue.steals q);
+  check Alcotest.bool "dry everywhere" true
+    (Shard_queue.pop q ~shard:0 = None && Shard_queue.is_empty q);
+  check Alcotest.bool "zero shards rejected" true
+    (match Shard_queue.create ~shards:0 [] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_shard_queue_deterministic () =
+  let drain shards n =
+    let q = Shard_queue.create ~shards (List.init n Fun.id) in
+    let rec go shard acc =
+      match Shard_queue.pop q ~shard with
+      | None -> List.rev acc
+      | Some x -> go ((shard + 1) mod shards) (x :: acc)
+    in
+    go 0 []
+  in
+  check Alcotest.bool "identical runs pop identically" true
+    (drain 4 64 = drain 4 64);
+  check Alcotest.bool "every item pops exactly once" true
+    (List.sort compare (drain 4 64) = List.init 64 Fun.id)
+
+(* ----- per-rack page-server pools ----- *)
+
+let test_rack_pooling () =
+  let r = Rack.create ~racks:2 ~servers_each:2 in
+  (* two servers: two transfers run in parallel, the third queues *)
+  check (Alcotest.float 1e-9) "first free server" 10.0
+    (Rack.acquire r ~rack:0 ~now_ms:0.0 ~service_ms:10.0);
+  check (Alcotest.float 1e-9) "second free server" 10.0
+    (Rack.acquire r ~rack:0 ~now_ms:0.0 ~service_ms:10.0);
+  check (Alcotest.float 1e-9) "third transfer queues" 20.0
+    (Rack.acquire r ~rack:0 ~now_ms:0.0 ~service_ms:10.0);
+  check (Alcotest.float 1e-9) "queueing delay accounted" 10.0 (Rack.queue_delay_ms r);
+  (* the other rack is unaffected *)
+  check (Alcotest.float 1e-9) "racks are independent" 5.0
+    (Rack.acquire r ~rack:1 ~now_ms:0.0 ~service_ms:5.0);
+  check Alcotest.int "served count" 4 (Rack.served r);
+  (* wait estimate books nothing *)
+  check (Alcotest.float 1e-9) "wait estimate" 10.0 (Rack.wait_ms r ~rack:0 ~now_ms:0.0);
+  check (Alcotest.float 1e-9) "estimate is free" 10.0 (Rack.wait_ms r ~rack:0 ~now_ms:0.0);
+  (* a late arrival starts at its own clock, not the server's *)
+  check (Alcotest.float 1e-9) "idle server serves immediately" 105.0
+    (Rack.acquire r ~rack:0 ~now_ms:100.0 ~service_ms:5.0)
+
+let test_rack_striping_and_validation () =
+  check Alcotest.int "node striping" 1 (Rack.rack_of_node ~racks:4 ~node:5);
+  check Alcotest.bool "bad config rejected" true
+    (match Rack.create ~racks:0 ~servers_each:1 with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  let r = Rack.create ~racks:1 ~servers_each:1 in
+  check Alcotest.bool "rack out of range" true
+    (match Rack.acquire r ~rack:9 ~now_ms:0.0 ~service_ms:1.0 with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  check Alcotest.bool "negative service rejected" true
+    (match Rack.acquire r ~rack:0 ~now_ms:0.0 ~service_ms:(-1.0) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
 (* ----- chunked producer/consumer pipeline schedule ----- *)
 
 let test_pipeline_single_chunk_degenerates () =
@@ -300,6 +385,15 @@ let suites =
           test_transmit_corruption_detected;
         Alcotest.test_case "transmit: delay survives" `Quick test_transmit_delay_survives;
         Alcotest.test_case "fetch_page: fault paths" `Quick test_fetch_page_paths;
+        Alcotest.test_case "shard queue: round robin" `Quick
+          test_shard_queue_round_robin;
+        Alcotest.test_case "shard queue: deterministic stealing" `Quick
+          test_shard_queue_stealing;
+        Alcotest.test_case "shard queue: whole-queue determinism" `Quick
+          test_shard_queue_deterministic;
+        Alcotest.test_case "rack: page-server pooling" `Quick test_rack_pooling;
+        Alcotest.test_case "rack: striping and validation" `Quick
+          test_rack_striping_and_validation;
         Alcotest.test_case "pipeline: single chunk degenerates" `Quick
           test_pipeline_single_chunk_degenerates;
         Alcotest.test_case "pipeline: schedule invariants" `Quick

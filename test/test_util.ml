@@ -196,6 +196,101 @@ let test_fault_corrupt_byte () =
   check Alcotest.bool "salt-deterministic" true (Bytes.equal data again);
   Fault.corrupt_byte 17L Bytes.empty
 
+(* ----- Event_heap: the discrete-event core ----- *)
+
+let test_event_heap_basics () =
+  let h = Event_heap.create () in
+  check Alcotest.bool "empty" true (Event_heap.is_empty h);
+  check Alcotest.bool "pop empty" true (Event_heap.pop h = None);
+  check Alcotest.bool "peek empty" true (Event_heap.peek h = None);
+  Event_heap.push h ~time:2.0 "b";
+  Event_heap.push h ~time:1.0 "a";
+  Event_heap.push h ~time:3.0 "c";
+  check Alcotest.int "length" 3 (Event_heap.length h);
+  check Alcotest.bool "peek min" true (Event_heap.peek h = Some (1.0, "a"));
+  check Alcotest.bool "peek_time" true (Event_heap.peek_time h = Some 1.0);
+  check Alcotest.bool "drain sorted" true
+    (Event_heap.drain h = [ (1.0, "a"); (2.0, "b"); (3.0, "c") ]);
+  check Alcotest.int "lifetime pushes survive drain" 3 (Event_heap.pushed h);
+  check Alcotest.bool "nan rejected" true
+    (match Event_heap.push h ~time:Float.nan "x" with
+     | exception Invalid_argument _ -> true
+     | () -> false)
+
+let test_event_heap_tie_break () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~key:2 ~time:1.0 "k2-first";
+  Event_heap.push h ~key:1 ~time:1.0 "k1";
+  Event_heap.push h ~key:2 ~time:1.0 "k2-second";
+  Event_heap.push h ~key:0 ~time:0.5 "early";
+  check Alcotest.bool "key then push order on ties" true
+    (List.map snd (Event_heap.drain h)
+    = [ "early"; "k1"; "k2-first"; "k2-second" ])
+
+(* Entries as (time, key) over a deliberately collision-heavy domain, so
+   the tie-break paths get exercised; the payload is the push index. *)
+let eh_entries = QCheck.(list (pair (int_bound 20) (int_bound 3)))
+
+let eh_model entries =
+  List.mapi (fun i (t, k) -> (float_of_int t, k, i)) entries
+  |> List.stable_sort (fun (t1, k1, s1) (t2, k2, s2) ->
+         compare (t1, k1, s1) (t2, k2, s2))
+  |> List.map (fun (t, _, i) -> (t, i))
+
+let eh_fill entries =
+  let h = Event_heap.create () in
+  List.iteri
+    (fun i (t, k) -> Event_heap.push h ~key:k ~time:(float_of_int t) i)
+    entries;
+  h
+
+let qcheck_event_heap_model =
+  QCheck.Test.make ~name:"event_heap pops monotone and stable (list-sort model)"
+    ~count:500 eh_entries (fun entries ->
+      Event_heap.drain (eh_fill entries) = eh_model entries)
+
+let qcheck_event_heap_interleaved =
+  (* [Some entry] pushes, [None] pops: every pop must return the
+     minimum of what a sorted-list model currently holds. *)
+  QCheck.Test.make ~name:"event_heap interleaved push/pop roundtrip" ~count:500
+    QCheck.(list (option (pair (int_bound 20) (int_bound 3))))
+    (fun ops ->
+      let h = Event_heap.create () in
+      let model = ref [] and seq = ref 0 and ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some (t, k) ->
+            Event_heap.push h ~key:k ~time:(float_of_int t) !seq;
+            model :=
+              List.stable_sort compare ((float_of_int t, k, !seq) :: !model);
+            incr seq
+          | None -> (
+            match (Event_heap.pop h, !model) with
+            | None, [] -> ()
+            | Some (t, v), (mt, _, mv) :: rest when t = mt && v = mv ->
+              model := rest
+            | _ -> ok := false))
+        ops;
+      !ok && Event_heap.length h = List.length !model)
+
+let qcheck_event_heap_merge =
+  (* Pushing stream A then stream B drains like merging their
+     individually sorted runs, A winning ties — push order is the
+     final tie-break. *)
+  QCheck.Test.make ~name:"event_heap merge equals merged list-sorts" ~count:500
+    (QCheck.pair eh_entries eh_entries) (fun (a, b) ->
+      let h = eh_fill (a @ b) in
+      let tag off entries =
+        List.mapi (fun i (t, k) -> (float_of_int t, k, off + i)) entries
+        |> List.stable_sort compare
+      in
+      let merged =
+        List.merge compare (tag 0 a) (tag (List.length a) b)
+        |> List.map (fun (t, _, i) -> (t, i))
+      in
+      Event_heap.drain h = merged)
+
 let qcheck_json_int_roundtrip =
   QCheck.Test.make ~name:"json int64 roundtrip" ~count:200 QCheck.int64 (fun v ->
       Json.of_string (Json.to_string (Json.Int v)) = Json.Int v)
@@ -221,5 +316,10 @@ let suites =
         Alcotest.test_case "fault schedule determinism" `Quick test_fault_determinism;
         Alcotest.test_case "fault calm/certain specs" `Quick test_fault_calm_and_certain;
         Alcotest.test_case "fault corrupt_byte" `Quick test_fault_corrupt_byte;
+        Alcotest.test_case "event heap basics" `Quick test_event_heap_basics;
+        Alcotest.test_case "event heap tie-break" `Quick test_event_heap_tie_break;
+        QCheck_alcotest.to_alcotest qcheck_event_heap_model;
+        QCheck_alcotest.to_alcotest qcheck_event_heap_interleaved;
+        QCheck_alcotest.to_alcotest qcheck_event_heap_merge;
         QCheck_alcotest.to_alcotest qcheck_json_int_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip ] ) ]
