@@ -20,6 +20,14 @@ let required_xl_fields =
     "jobs_per_kj"; "throughput_per_min"; "events"; "events_per_sim_s";
     "makespan_ms" ]
 
+(* Migration mechanisms every fig7-live sweep must cover, and the numeric
+   fields every row must carry. *)
+let required_live_mechanisms = [ "vanilla"; "lazy"; "hybrid" ]
+
+let required_live_fields =
+  [ "requests"; "stalled"; "faulted"; "precopy_ms"; "blackout_ms"; "p50_ms";
+    "p99_ms"; "p999_ms"; "mig_p50_ms"; "mig_p99_ms"; "mig_p999_ms" ]
+
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("check_bench: " ^ s); exit 1) fmt
 
 let () =
@@ -107,6 +115,52 @@ let () =
       if not (List.mem want xl_policies) then
         die "%s: fig8_xl missing policy %S" file want)
     required_xl_policies;
+  let live_rows =
+    match J.member_opt "fig7_live" doc with
+    | Some l -> (try J.to_list l with _ -> die "%s: \"fig7_live\" is not a list" file)
+    | None -> die "%s: missing key \"fig7_live\"" file
+  in
+  if live_rows = [] then die "%s: \"fig7_live\" is empty" file;
+  let live_mechanisms =
+    List.map
+      (fun row ->
+        let mech =
+          match J.member_opt "mechanism" row with
+          | Some m ->
+            (try J.to_str m
+             with _ -> die "%s: fig7_live row \"mechanism\" is not a string" file)
+          | None -> die "%s: fig7_live row missing \"mechanism\"" file
+        in
+        List.iter
+          (fun field ->
+            match J.member_opt field row with
+            | Some v ->
+              (try ignore (J.to_float v)
+               with _ ->
+                 die "%s: fig7_live %s: %S is not a number" file mech field)
+            | None -> die "%s: fig7_live %s: missing %S" file mech field)
+          required_live_fields;
+        (match J.member_opt "requests" row with
+         | Some v when (try J.to_float v <= 0.0 with _ -> false) ->
+           die "%s: fig7_live %s: requests is zero" file mech
+         | _ -> ());
+        (match J.member_opt "fingerprint" row with
+         | Some f ->
+           (try
+              if String.length (J.to_str f) <> 16 then
+                die "%s: fig7_live %s: fingerprint is not 16 hex chars" file mech
+            with _ -> die "%s: fig7_live %s: \"fingerprint\" is not a string" file mech)
+         | None -> die "%s: fig7_live %s: missing \"fingerprint\"" file mech);
+        mech)
+      live_rows
+  in
+  List.iter
+    (fun want ->
+      if not (List.mem want live_mechanisms) then
+        die "%s: fig7_live missing mechanism %S" file want)
+    required_live_mechanisms;
   Printf.printf
-    "check_bench: %s ok (%d benchmarks, %d required present, %d fig8-xl rows)\n"
+    "check_bench: %s ok (%d benchmarks, %d required present, %d fig8-xl rows, \
+     %d fig7-live rows)\n"
     file (List.length names) (List.length required_names) (List.length xl_rows)
+    (List.length live_rows)

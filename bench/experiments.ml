@@ -281,6 +281,222 @@ let fig7 () =
     redis_rows;
   print_newline ()
 
+(* ----- Fig. 7-live: migration under open-loop live traffic ----- *)
+
+module Tr = Dapper_traffic
+
+(* One row of the live-traffic experiment, shared between the printed
+   tables and the BENCH_RESULTS.json fig7_live entries. *)
+type live_row = {
+  lv_label : string;
+  lv_mechanism : string;
+  lv_requests : int;
+  lv_stalled : int;
+  lv_faulted : int;
+  lv_precopy_ms : float;
+  lv_blackout_ms : float;
+  lv_p50 : float;
+  lv_p99 : float;
+  lv_p999 : float;
+  lv_mig_p50 : float;
+  lv_mig_p99 : float;
+  lv_mig_p999 : float;
+  lv_fingerprint : string;
+}
+
+let live_lanes = 4
+let live_util = 0.15    (* offered load as a fraction of lane capacity *)
+let live_rps = 0.25     (* per-client request rate: populations in the millions *)
+let live_seed = 0x11AFFE17L
+
+(* Per-request cost floor for the service-time calibration: the replayed
+   IR services spend a few hundred interpreted instructions per op, but a
+   real server request also pays parsing, syscalls and the network stack.
+   20k instructions is ~5 us on the xeon — a realistic in-memory-store
+   service time — and keeps the load window wide enough to straddle the
+   migration instead of drowning inside the blackout. *)
+let live_floor_instrs = 20_000.0
+
+(* Run workload [c] under open-loop load while migrating with [mech].
+   The service-time model is calibrated from the workload's own native
+   run ([total] instructions over [ops] requests); the client population
+   is whatever it takes to offer [live_util] of lane capacity at
+   [live_rps] per client. *)
+let live_stats ?(seed = live_seed) ?(requests = 1_000_000) ?(reverse = false)
+    c ~ops ~total mech =
+  let src_arch, dst_arch =
+    if reverse then (Arch.Aarch64, Arch.X86_64) else (Arch.X86_64, Arch.Aarch64)
+  in
+  let src_node = node_of src_arch and dst_node = node_of dst_arch in
+  let src_bin = Link.binary_for c src_arch
+  and dst_bin = Link.binary_for c dst_arch in
+  let p = Process.load src_bin in
+  let warm = max 10_000 (int_of_float (Int64.to_float total *. 0.5)) in
+  (match Process.run p ~max_instrs:warm with
+   | Process.Progress -> ()
+   | _ -> failwith (c.Link.cp_app ^ ": finished before migration point"));
+  let instrs_per_req =
+    Float.max (Int64.to_float total /. float_of_int ops) live_floor_instrs
+  in
+  let s_src = Tr.Loadgen.service_ms ~node:src_node ~instrs_per_req in
+  let s_dst = Tr.Loadgen.service_ms ~node:dst_node ~instrs_per_req in
+  let rate = live_util *. float_of_int live_lanes /. s_src in
+  let clients = int_of_float (Float.ceil (rate *. 1000.0 /. live_rps)) in
+  let window = float_of_int requests /. rate in
+  let scfg =
+    { (Session.default_config ~src_bin ~dst_bin) with
+      Session.cfg_src_node = src_node;
+      cfg_dst_node = dst_node;
+      cfg_recode_node = src_node;
+      cfg_bytes_scale = bytes_scale }
+  in
+  let lg =
+    { Tr.Loadgen.lg_seed = seed;
+      lg_requests = requests;
+      lg_clients = clients;
+      lg_client_rps = live_rps;
+      (* quiet/burst modulation averaging exactly the base rate:
+         (0.8*120 + 1.6*40) / 160 = 1 *)
+      lg_mmpp = Some [| (0.8, 120.0); (1.6, 40.0) |];
+      lg_lanes = live_lanes;
+      lg_service_src_ms = s_src;
+      lg_service_dst_ms = s_dst;
+      lg_migrate_at_ms = 0.25 *. window;
+      lg_max_rounds = 5;
+      lg_downtime_budget_ms = 25.0;
+      lg_round_instrs = 200_000;
+      lg_racks = Some (Rack.create ~racks:4 ~servers_each:2);
+      lg_rack = 0 }
+  in
+  match Tr.Loadgen.run lg scfg p mech with
+  | Ok st -> st
+  | Error e -> failwith (c.Link.cp_app ^ ": " ^ Migrate.error_to_string e)
+
+let live_row_of label (st : Tr.Loadgen.stats) =
+  let q s p =
+    if Tr.Sketch.count s = 0 then 0.0 else Tr.Sketch.quantile s p
+  in
+  { lv_label = label;
+    lv_mechanism = Tr.Budget.mechanism_name st.Tr.Loadgen.ls_mechanism;
+    lv_requests = st.Tr.Loadgen.ls_requests;
+    lv_stalled = st.Tr.Loadgen.ls_stalled;
+    lv_faulted = st.Tr.Loadgen.ls_faulted;
+    lv_precopy_ms = st.Tr.Loadgen.ls_precopy_ms;
+    lv_blackout_ms = st.Tr.Loadgen.ls_blackout_ms;
+    lv_p50 = q st.Tr.Loadgen.ls_all 0.5;
+    lv_p99 = q st.Tr.Loadgen.ls_all 0.99;
+    lv_p999 = q st.Tr.Loadgen.ls_all 0.999;
+    lv_mig_p50 = q st.Tr.Loadgen.ls_during 0.5;
+    lv_mig_p99 = q st.Tr.Loadgen.ls_during 0.99;
+    lv_mig_p999 = q st.Tr.Loadgen.ls_during 0.999;
+    lv_fingerprint = Printf.sprintf "%016Lx" st.Tr.Loadgen.ls_fingerprint }
+
+let live_mechanisms = Tr.Budget.[ Vanilla; Postcopy; Hybrid ]
+
+(* The BENCH_RESULTS.json sweep: redis under load, forward direction,
+   all three mechanisms. *)
+let fig7_live_sweep ?(requests = 1_000_000) () =
+  let m = Servers.redis ~keys:4096 ~ops:6000 () in
+  let c = Link.compile ~app:"redis-live" m in
+  let total = native_instrs c Arch.X86_64 in
+  List.map
+    (fun mech ->
+      live_row_of "redis x86->arm" (live_stats ~requests c ~ops:6000 ~total mech))
+    live_mechanisms
+
+let fig7_live () =
+  let workloads =
+    [ ("redis", Servers.redis ~keys:4096 ~ops:6000 (), 6000, false);
+      ("redis", Servers.redis ~keys:4096 ~ops:6000 (), 6000, true);
+      ("nginx", Servers.nginx ~requests:600 (), 600, false) ]
+  in
+  let all_rows =
+    List.concat_map
+      (fun (name, m, ops, reverse) ->
+        let c = Link.compile ~app:(name ^ "-live") m in
+        let src_arch = if reverse then Arch.Aarch64 else Arch.X86_64 in
+        let total = native_instrs c src_arch in
+        let label =
+          Printf.sprintf "%s %s" name
+            (if reverse then "arm->x86" else "x86->arm")
+        in
+        List.map
+          (fun mech ->
+            let st = live_stats ~reverse c ~ops ~total mech in
+            (live_row_of label st, st))
+          live_mechanisms)
+      workloads
+  in
+  Tbl.print
+    ~title:
+      "Fig 7-live: tail latency across a migration (1M open-loop requests)"
+    ~header:
+      [ "workload"; "mechanism"; "stalled"; "faults"; "precopy"; "blackout";
+        "p50"; "p99"; "p999"; "mig p50"; "mig p99"; "mig p999" ]
+    (List.map
+       (fun (r, _) ->
+         [ r.lv_label; r.lv_mechanism; string_of_int r.lv_stalled;
+           string_of_int r.lv_faulted; Tbl.ms r.lv_precopy_ms;
+           Tbl.ms r.lv_blackout_ms; Tbl.ms r.lv_p50; Tbl.ms r.lv_p99;
+           Tbl.ms r.lv_p999; Tbl.ms r.lv_mig_p50; Tbl.ms r.lv_mig_p99;
+           Tbl.ms r.lv_mig_p999 ])
+       all_rows);
+  (* Downtime-budget policy: projections calibrated from the measured
+     redis forward rows, then the mechanism the policy would pick at
+     each budget. *)
+  (match
+     List.filter (fun (r, _) -> r.lv_label = "redis x86->arm") all_rows
+   with
+   | (v, vst) :: rest ->
+     let find name =
+       List.find_opt (fun (r, _) -> r.lv_mechanism = name) rest
+     in
+     let vt = vst.Tr.Loadgen.ls_outcome.Session.r_times in
+     let image_wire =
+       int_of_float (float_of_int vst.Tr.Loadgen.ls_outcome.Session.r_image_bytes
+                     *. bytes_scale)
+     in
+     let wire_ns_per_byte =
+       if image_wire = 0 then 0.0
+       else vt.Session.t_scp_ms *. 1e6 /. float_of_int image_wire
+     in
+     let residual_bytes =
+       match find "hybrid" with
+       | Some (_, hst) ->
+         (match hst.Tr.Loadgen.ls_precopy with
+          | Some pcs ->
+            int_of_float
+              (float_of_int
+                 (List.length pcs.Session.pcs_residual
+                  * Dapper_binary.Layout.page_size)
+               *. bytes_scale)
+          | None -> 0)
+       | None -> 0
+     in
+     let lazy_fixed =
+       match find "lazy" with
+       | Some (lr, _) -> lr.lv_blackout_ms
+       | None -> v.lv_blackout_ms
+     in
+     let est =
+       { Tr.Budget.e_image_bytes = image_wire;
+         e_residual_bytes = residual_bytes;
+         e_fixed_ms = Session.total_ms vt -. vt.Session.t_scp_ms;
+         e_lazy_fixed_ms = lazy_fixed;
+         e_wire_ns_per_byte = wire_ns_per_byte }
+     in
+     Tbl.print
+       ~title:"Fig 7-live: downtime-budget mechanism selection (redis)"
+       ~header:[ "budget"; "chosen"; "projected downtime" ]
+       (List.map
+          (fun budget ->
+            let mech = Tr.Budget.choose ~budget_ms:budget est in
+            [ Tbl.ms budget; Tr.Budget.mechanism_name mech;
+              Tbl.ms (Tr.Budget.downtime_ms est mech) ])
+          [ 2000.0; 500.0; 100.0; 10.0 ])
+   | [] -> ());
+  print_newline ()
+
 (* ----- Fig. 8: energy efficiency and throughput on the hybrid cluster ----- *)
 
 (* Per-job costs for the Fig. 8 family: measured native runs and a real
@@ -789,6 +1005,7 @@ let all () =
   fig5_pipelined ();
   fig6 ();
   fig7 ();
+  fig7_live ();
   fig8 ();
   fig8_fleet ();
   fig8_xl ();

@@ -4,6 +4,7 @@
 let experiments =
   [ ("fig5", Experiments.fig5); ("fig5-pipelined", Experiments.fig5_pipelined);
     ("fig6", Experiments.fig6); ("fig7", Experiments.fig7);
+    ("fig7-live", Experiments.fig7_live);
     ("fig8", Experiments.fig8); ("fig8-fleet", Experiments.fig8_fleet);
     ("fig8-xl", Experiments.fig8_xl); ("fig9", Experiments.fig9);
     ("fig10", Experiments.fig10);

@@ -262,17 +262,46 @@ let run_micro ?(json = false) ?(smoke = false) ?trace () =
               ("makespan_ms", J.Float s.Fleet_xl.x_makespan_ms) ])
         xl_rows
     in
+    (* fig7-live rows: tail latency across a live migration. Smoke trims
+       the open-loop request count so CI stays fast; a full run plays the
+       1M-request plane. *)
+    let live_rows =
+      Experiments.fig7_live_sweep
+        ~requests:(if smoke then 120_000 else 1_000_000) ()
+    in
+    let live_entries =
+      List.map
+        (fun (r : Experiments.live_row) ->
+          J.Obj
+            [ ("workload", J.String r.Experiments.lv_label);
+              ("mechanism", J.String r.Experiments.lv_mechanism);
+              ("requests", J.Float (float r.Experiments.lv_requests));
+              ("stalled", J.Float (float r.Experiments.lv_stalled));
+              ("faulted", J.Float (float r.Experiments.lv_faulted));
+              ("precopy_ms", J.Float r.Experiments.lv_precopy_ms);
+              ("blackout_ms", J.Float r.Experiments.lv_blackout_ms);
+              ("p50_ms", J.Float r.Experiments.lv_p50);
+              ("p99_ms", J.Float r.Experiments.lv_p99);
+              ("p999_ms", J.Float r.Experiments.lv_p999);
+              ("mig_p50_ms", J.Float r.Experiments.lv_mig_p50);
+              ("mig_p99_ms", J.Float r.Experiments.lv_mig_p99);
+              ("mig_p999_ms", J.Float r.Experiments.lv_mig_p999);
+              ("fingerprint", J.String r.Experiments.lv_fingerprint) ])
+        live_rows
+    in
     let doc =
       J.Obj
         [ ("suite", J.String "dapper-micro"); ("smoke", J.Bool smoke);
-          ("benchmarks", J.List entries); ("fig8_xl", J.List xl_entries) ]
+          ("benchmarks", J.List entries); ("fig8_xl", J.List xl_entries);
+          ("fig7_live", J.List live_entries) ]
     in
     let oc = open_out results_file in
     output_string oc (J.to_string doc);
     output_char oc '\n';
     close_out oc;
-    Printf.printf "wrote %s (%d benchmarks, %d fig8-xl rows)\n" results_file
-      (List.length entries) (List.length xl_entries)
+    Printf.printf "wrote %s (%d benchmarks, %d fig8-xl rows, %d fig7-live rows)\n"
+      results_file (List.length entries) (List.length xl_entries)
+      (List.length live_entries)
   end;
   Option.iter run_trace trace
 

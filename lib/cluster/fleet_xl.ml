@@ -168,7 +168,8 @@ let run config kinds =
     match config.x_placement with
     | Placement.Slo_aware -> d.Placement.dc_est_ms <= deadline
     | Placement.Energy_aware -> Placement.watts_per_speed d <= 1.25 *. best_wps
-    | Placement.Latest_start | Placement.First_fit -> true
+    | Placement.Latest_start | Placement.First_fit | Placement.Latency_aware ->
+      true
   in
   (* Dispatch as much queued work as capacity and admission allow at
      time [now]: fast slots first (lowest id), then one slow
@@ -199,6 +200,10 @@ let run config kinds =
           let shard = !slow_dispatches mod config.x_shards in
           let kind = Option.get (Shard_queue.peek queue ~shard) in
           let deadline = config.x_slo_factor *. kind.Scheduler.jk_xeon_ms in
+          (* remembered per class so the latency-aware scoring hook can
+             recover the pure rack wait (dc_est_ms folds it into the
+             total estimate) *)
+          let class_waits = Array.make (Array.length classes) 0.0 in
           let candidates =
             List.map
               (fun (ci, id) ->
@@ -206,18 +211,24 @@ let run config kinds =
                 let rack =
                   Rack.rack_of_node ~racks:config.x_racks ~node:(slot id).s_node_id
                 in
+                let wait = Rack.wait_ms racks ~rack ~now_ms:now in
+                class_waits.(ci) <- wait;
                 { Placement.dc_index = ci;
                   dc_lowest_slot = id;
                   dc_ops_per_ns = c.xc_node.Node.n_ops_per_ns;
                   dc_core_w = c.xc_node.Node.n_core_w;
                   dc_est_ms =
-                    Rack.wait_ms racks ~rack ~now_ms:now
+                    wait
                     +. kind.Scheduler.jk_migration_ms
                     +. exec_ms_on c.xc_node kind })
               free_classes
             |> List.filter (admits ~deadline)
           in
-          match Placement.choose_dest config.x_placement ~deadline_ms:deadline candidates with
+          match
+            Placement.choose_dest config.x_placement ~deadline_ms:deadline
+              ~page_wait_ms:(fun d -> class_waits.(d.Placement.dc_index))
+              candidates
+          with
           | None -> ()  (* defer: no admissible destination right now *)
           | Some dest ->
             incr slow_dispatches;

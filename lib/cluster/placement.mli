@@ -28,6 +28,11 @@ type t =
       (** evict the most recently started job (least progress at risk);
           cheapest destination whose estimated completion meets the
           job's deadline, else the fastest *)
+  | Latency_aware
+      (** evict the most recently started job; destination whose rack's
+          page servers are the least backed up ([page_wait_ms] hook), so
+          requests faulting against the migrating job stall least — the
+          policy the live-traffic plane feeds (ties on [dc_est_ms]) *)
 
 val name : t -> string
 
@@ -64,5 +69,11 @@ val watts_per_speed : dest -> float
 (** The chosen destination, or [None] when there are no candidates.
     [deadline_ms] only affects [Slo_aware]: prefer the cheapest
     candidate with [dc_est_ms <= deadline_ms], falling back to the
-    fastest when none meets it. *)
-val choose_dest : t -> ?deadline_ms:float -> dest list -> dest option
+    fastest when none meets it. [page_wait_ms] only affects
+    [Latency_aware]: the estimated page-server queue wait at the
+    candidate's rack (e.g. {!Rack.wait_ms}) — the stall a request
+    faulting mid-migration would be charged; when absent,
+    [Latency_aware] falls back to minimizing [dc_est_ms]. *)
+val choose_dest :
+  t -> ?deadline_ms:float -> ?page_wait_ms:(dest -> float) -> dest list ->
+  dest option

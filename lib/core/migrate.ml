@@ -127,6 +127,7 @@ let migrate ?(lazy_pages = false) ?(link = Link.infiniband) ?recode_on
       cfg_pipeline = pipeline;
       cfg_chunk_bytes = chunk_bytes;
       cfg_recode_workers = recode_workers;
-      cfg_recode_memo = memo }
+      cfg_recode_memo = memo;
+      cfg_resident_pages = [] }
   in
   Result.map Session.finish (Session.run cfg p)

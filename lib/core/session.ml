@@ -21,6 +21,7 @@ type config = {
   cfg_chunk_bytes : int;
   cfg_recode_workers : int;
   cfg_recode_memo : Plan_cache.memo option;
+  cfg_resident_pages : int list;
 }
 
 let default_config ~src_bin ~dst_bin =
@@ -37,7 +38,8 @@ let default_config ~src_bin ~dst_bin =
     cfg_pipeline = false;
     cfg_chunk_bytes = 262_144;
     cfg_recode_workers = 1;
-    cfg_recode_memo = None }
+    cfg_recode_memo = None;
+    cfg_resident_pages = [] }
 
 (* Cost-model constants (see EXPERIMENTS.md, "Calibration"). *)
 let checkpoint_fixed_ns = 3.0e6    (* freeze + /proc walk + image setup *)
@@ -228,6 +230,128 @@ let staged stage f (s : _ t) =
     if tracing then Trace.leave ~args:[ ("exception", Printexc.to_string exn) ] ();
     raise exn
 
+(* ----- iterative pre-copy ----- *)
+
+type precopy_round = {
+  pr_round : int;
+  pr_pages : int;
+  pr_bytes : int;
+  pr_ms : float;
+}
+
+type precopy_stats = {
+  pcs_rounds : precopy_round list;
+  pcs_pages_sent : int;
+  pcs_bytes_sent : int;
+  pcs_ms : float;
+  pcs_resident : int list;
+  pcs_residual : int list;
+}
+
+let m_precopy_rounds = Metrics.counter "session.precopy.rounds"
+let m_precopy_pages = Metrics.counter "session.precopy.pages"
+let m_precopy_round_ms = Metrics.histogram "session.precopy.round_ms"
+
+(* Pages worth shipping ahead of the blackout: everything the dump would
+   carry except clean code pages, which the destination demand-loads from
+   its own binary. *)
+let precopy_candidate p pn =
+  match Process.vma_kind_of_page p pn with
+  | Some Process.Vma_code -> false
+  | Some _ | None -> true
+
+(* Iterative pre-copy over the live source: round 1 streams every
+   candidate page while the process keeps serving ([advance] runs it for
+   the round's wire time); each later round re-ships the pages dirtied
+   during the previous round. Rounds stop when the remaining dirty set
+   would fit in [downtime_budget_ms] on the wire, stops shrinking, or
+   [max_rounds] is reached. The returned [pcs_resident] pages are clean
+   at the destination (feed them to [cfg_resident_pages]); [pcs_residual]
+   are still dirty and must move during the blackout (vanilla) or be
+   demand-fetched after restore (hybrid). Dirty tracking is always
+   disabled on exit, so an abandoned pre-copy leaves the source exactly
+   as it was — running, untracked, unharmed. *)
+let precopy cfg p ~advance ~max_rounds ~downtime_budget_ms =
+  if max_rounds < 1 then invalid_arg "Session.precopy: max_rounds < 1";
+  if downtime_budget_ms < 0.0 then
+    invalid_arg "Session.precopy: downtime_budget_ms < 0";
+  let mem = p.Process.mem in
+  let transport = cfg.cfg_transport in
+  let wire pages =
+    let bytes = scaled cfg (pages * Layout.page_size) in
+    (bytes, Transport.transfer_ns transport bytes /. 1e6)
+  in
+  let sent = Hashtbl.create 256 in
+  let rounds = ref [] in
+  let pages_sent = ref 0 and bytes_sent = ref 0 and total_ms = ref 0.0 in
+  Memory.track_dirty mem true;
+  let residual =
+    Fun.protect ~finally:(fun () -> Memory.track_dirty mem false) @@ fun () ->
+    let rec go r to_send =
+      let n = List.length to_send in
+      let bytes, ms = wire n in
+      List.iter (fun pn -> Hashtbl.replace sent pn ()) to_send;
+      pages_sent := !pages_sent + n;
+      bytes_sent := !bytes_sent + bytes;
+      total_ms := !total_ms +. ms;
+      rounds := { pr_round = r; pr_pages = n; pr_bytes = bytes; pr_ms = ms } :: !rounds;
+      Metrics.inc m_precopy_rounds;
+      Metrics.inc m_precopy_pages ~by:n;
+      Metrics.observe m_precopy_round_ms ms;
+      Trace.leaf ~cat:"session" "precopy-round" ~dur_ns:(ms *. 1e6)
+        ~args:[ ("round", string_of_int r); ("pages", string_of_int n) ];
+      Memory.clear_dirty mem;
+      advance ms;
+      let dirty = List.filter (precopy_candidate p) (Memory.dirty_pages mem) in
+      let _, dirty_ms = wire (List.length dirty) in
+      if
+        dirty = [] || dirty_ms <= downtime_budget_ms || r >= max_rounds
+        || List.length dirty >= n
+      then dirty
+      else go (r + 1) dirty
+    in
+    go 1 (List.filter (precopy_candidate p) (Memory.mapped_pages mem))
+  in
+  let residual_set = Hashtbl.create 64 in
+  List.iter (fun pn -> Hashtbl.replace residual_set pn ()) residual;
+  let resident =
+    Hashtbl.fold
+      (fun pn () acc -> if Hashtbl.mem residual_set pn then acc else pn :: acc)
+      sent []
+    |> List.sort Int.compare
+  in
+  { pcs_rounds = List.rev !rounds;
+    pcs_pages_sent = !pages_sent;
+    pcs_bytes_sent = !bytes_sent;
+    pcs_ms = !total_ms;
+    pcs_resident = resident;
+    pcs_residual = residual }
+
+(* Unscaled bytes of resident pages that the dumped image also carries:
+   those already crossed the wire during pre-copy rounds, so transfer
+   and eager restore charge for the image minus this overlap. *)
+let resident_dump_bytes cfg (is : Images.image_set) =
+  match cfg.cfg_resident_pages with
+  | [] -> 0
+  | resident ->
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun pn -> Hashtbl.replace tbl pn ()) resident;
+    let pages =
+      List.fold_left
+        (fun acc (e : Images.pagemap_entry) ->
+          if not e.pm_in_dump then acc
+          else begin
+            let base = Layout.page_of_addr e.pm_vaddr in
+            let c = ref 0 in
+            for k = 0 to e.pm_npages - 1 do
+              if Hashtbl.mem tbl (base + k) then incr c
+            done;
+            acc + !c
+          end)
+        0 is.Images.is_pagemap
+    in
+    pages * Layout.page_size
+
 let pause_run (s : ready t) =
   guard s (fun () ->
       match Monitor.request_pause s.s_source ~budget:s.s_cfg.cfg_pause_budget with
@@ -297,7 +421,9 @@ let transfer_run (s : recoded t) =
   guard s (fun () ->
       let { sc_pause; sc_image; sc_rewrite; sc_image_bytes } = s.s_state in
       let cfg = s.s_cfg in
-      let wire_bytes = scaled cfg sc_image_bytes in
+      let wire_bytes =
+        scaled cfg (max 0 (sc_image_bytes - resident_dump_bytes cfg sc_image))
+      in
       let files = Images.to_files sc_image in
       let result =
         if cfg.cfg_pipeline then
@@ -374,17 +500,42 @@ let restore_run (s : transferred t) =
         (match Restore.restore ?page_source sx_image cfg.cfg_dst_bin with
          | Error _ as e -> e
          | Ok q ->
-           let bytes = if lazy_pages then 0 else scaled cfg sx_image_bytes in
+           let bytes =
+             if lazy_pages then 0
+             else scaled cfg (max 0 (sx_image_bytes - resident_dump_bytes cfg sx_image))
+           in
            let ms =
              if lazy_pages then lazy_restore_ms ~node:cfg.cfg_dst_node
              else restore_ms ~node:cfg.cfg_dst_node ~bytes
+           in
+           (* Hybrid pre+post-copy: pages pre-copied while the source was
+              still serving are clean, so materialize them now instead of
+              demand-fetching them through the page server — only the
+              residual dirty set pays the post-copy fault tail. *)
+           let resident = cfg.cfg_resident_pages in
+           if lazy_pages && resident <> [] then
+             List.iter
+               (fun pn ->
+                 if not (Memory.is_mapped q.Process.mem pn) then
+                   match Memory.page_contents s.s_source.Process.mem pn with
+                   | Some data -> Memory.map_page q.Process.mem pn (Bytes.copy data)
+                   | None -> ())
+               resident;
+           let lazy_left =
+             if resident = [] then lazy_page_numbers sx_image
+             else
+               let res = Hashtbl.create 64 in
+               List.iter (fun pn -> Hashtbl.replace res pn ()) resident;
+               List.filter
+                 (fun pn -> not (Hashtbl.mem res pn))
+                 (lazy_page_numbers sx_image)
            in
            Ok
              (step s Dapper_error.Restore ~bytes ~ms
                 { sf_pause = sx_pause; sf_rewrite = sx_rewrite;
                   sf_image_bytes = sx_image_bytes; sf_process = q;
                   sf_page_server = server_stats;
-                  sf_lazy_pages = lazy_page_numbers sx_image })))
+                  sf_lazy_pages = lazy_left })))
 
 let restore s = staged Dapper_error.Restore restore_run s
 

@@ -82,6 +82,14 @@ type config = {
       stage: repeat migrations of an unchanged binary re-encode only
       changed threads/pages, shrinking the charged recode bytes and
       work items. [None] (default): every run recodes everything. *)
+  cfg_resident_pages : int list;
+  (** pages already materialized at the destination by {!precopy}
+      rounds (pass [pcs_resident]). Transfer and eager restore charge
+      for the image minus these pages' overlap with the dump; a lazy
+      restore maps them immediately instead of demand-fetching, so only
+      the pre-copy residual pays the post-copy fault tail (hybrid
+      pre+post-copy). [[]] (default) is the classic behaviour, bit for
+      bit. *)
 }
 
 (** Xeon-to-Pi over infiniband scp with the standard drain budget — the
@@ -109,6 +117,52 @@ val lazy_restore_ms : node:Node.t -> float
     page-granular byte slices on the most-loaded core. [workers = 1]
     (default) is exactly the sequential formula. *)
 val recode_ns : Node.t -> ?workers:int -> bytes:int -> Rewrite.stats -> float
+
+(** {1 Iterative pre-copy}
+
+    The anti-blackout prologue: stream memory while the source still
+    serves, so the stop-and-copy window only carries what changed. *)
+
+(** One pre-copy round: the pages it shipped, their scaled wire bytes,
+    and the wire time the source kept serving through. *)
+type precopy_round = {
+  pr_round : int;   (** 1-based *)
+  pr_pages : int;
+  pr_bytes : int;
+  pr_ms : float;
+}
+
+type precopy_stats = {
+  pcs_rounds : precopy_round list;  (** in execution order *)
+  pcs_pages_sent : int;   (** multiset total across rounds (re-sends count) *)
+  pcs_bytes_sent : int;   (** scaled wire bytes across rounds *)
+  pcs_ms : float;         (** total round time (not downtime — source live) *)
+  pcs_resident : int list;
+  (** pages clean at the destination, sorted — feed to
+      {!config.cfg_resident_pages} *)
+  pcs_residual : int list;
+  (** pages still dirty after the last round, sorted — they move during
+      the blackout (vanilla) or fault in after restore (hybrid) *)
+}
+
+(** [precopy cfg p ~advance ~max_rounds ~downtime_budget_ms] runs
+    iterative pre-copy rounds over the live source [p]: round 1 ships
+    every candidate page (the dump set minus clean code pages); [advance
+    ms] runs the source for each round's wire time (dirty-page tracking
+    is enabled around it); each later round re-ships the pages dirtied
+    during the previous one. Stops when the dirty set would transfer
+    within [downtime_budget_ms], stops shrinking, or [max_rounds] is
+    reached. Never pauses the source, never fails; tracking is always
+    disabled on exit, so abandoning the migration afterwards leaves the
+    source exactly as before — the rollback story of the later stages is
+    unchanged. *)
+val precopy :
+  config ->
+  Process.t ->
+  advance:(float -> unit) ->
+  max_rounds:int ->
+  downtime_budget_ms:float ->
+  precopy_stats
 
 (** {1 Phase times} *)
 

@@ -6,16 +6,50 @@ type t = {
   pages : (int, bytes) Hashtbl.t;
   mutable fault_handler : (int -> bytes option) option;
   mutable faults : int;
+  mutable dirty : (int, unit) Hashtbl.t option;
 }
 
-let create () = { pages = Hashtbl.create 256; fault_handler = None; faults = 0 }
+let create () =
+  { pages = Hashtbl.create 256; fault_handler = None; faults = 0; dirty = None }
 
 let set_fault_handler t h = t.fault_handler <- h
 let fault_count t = t.faults
 
+(* Dirty-page tracking (pre-copy rounds). One branch per write when
+   disabled, so the interpreter hot path is untouched for legacy runs. *)
+let track_dirty t on =
+  t.dirty <- (if on then Some (Hashtbl.create 64) else None)
+
+let tracking_dirty t = t.dirty <> None
+
+let clear_dirty t =
+  match t.dirty with None -> () | Some d -> Hashtbl.reset d
+
+let dirty_pages t =
+  match t.dirty with
+  | None -> []
+  | Some d ->
+    let arr = Array.make (Hashtbl.length d) 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun pn () ->
+        arr.(!i) <- pn;
+        incr i)
+      d;
+    Array.sort Int.compare arr;
+    Array.to_list arr
+
+let mark_dirty t addr =
+  match t.dirty with
+  | None -> ()
+  | Some d -> Hashtbl.replace d (Layout.page_of_addr addr) ()
+
 let map_page t pn data =
   if Bytes.length data <> Layout.page_size then
     invalid_arg "Memory.map_page: wrong page size";
+  (match t.dirty with
+   | None -> ()
+   | Some d -> Hashtbl.replace d pn ());
   Hashtbl.replace t.pages pn data
 
 let unmap_page t pn = Hashtbl.remove t.pages pn
@@ -60,6 +94,7 @@ let read_u8 t addr =
 
 let write_u8 t addr v =
   let p = page t addr in
+  mark_dirty t addr;
   Bytes.set p (Layout.page_offset addr) (Char.chr (v land 0xFF))
 
 let read_u64 t addr =
@@ -81,6 +116,7 @@ let write_u64 t addr v =
   let off = Layout.page_offset addr in
   if off + 8 <= Layout.page_size then begin
     let p = page t addr in
+    mark_dirty t addr;
     Bytes.set_int64_le p off v
   end
   else
@@ -111,6 +147,7 @@ let write_bytes t addr s =
     let off = Layout.page_offset a in
     let chunk = min (len - !pos) (Layout.page_size - off) in
     let p = page t a in
+    mark_dirty t a;
     Bytes.blit_string s !pos p off chunk;
     pos := !pos + chunk
   done
@@ -118,4 +155,4 @@ let write_bytes t addr s =
 let copy t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
   Hashtbl.iter (fun pn data -> Hashtbl.replace pages pn (Bytes.copy data)) t.pages;
-  { pages; fault_handler = None; faults = 0 }
+  { pages; fault_handler = None; faults = 0; dirty = None }

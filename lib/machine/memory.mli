@@ -36,6 +36,25 @@ val mapped_pages : t -> int list
 (** Raw page contents (without triggering the fault handler). *)
 val page_contents : t -> int -> bytes option
 
+(** {2 Dirty-page tracking}
+
+    Iterative pre-copy needs to know which pages were written between
+    transfer rounds. Tracking is off by default (and costs one branch per
+    write when off); [track_dirty t true] starts tracking into a fresh
+    empty set, [track_dirty t false] stops and drops the set. Writes and
+    [map_page] mark pages; reads — including fault-handler demand loads,
+    whose contents are reproducible on the destination — do not. *)
+
+val track_dirty : t -> bool -> unit
+val tracking_dirty : t -> bool
+
+(** Pages written since tracking started or the last [clear_dirty], in
+    increasing order. Empty when tracking is off. *)
+val dirty_pages : t -> int list
+
+(** Empty the dirty set, keeping tracking on. *)
+val clear_dirty : t -> unit
+
 val read_u8 : t -> int64 -> int
 val read_u64 : t -> int64 -> int64
 val write_u8 : t -> int64 -> int -> unit

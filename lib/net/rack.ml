@@ -38,7 +38,7 @@ let wait_ms t ~rack ~now_ms =
     invalid_arg "Rack.wait_ms: rack out of range";
   Float.max 0.0 (t.r_busy_until.(rack).(earliest_free t rack) -. now_ms)
 
-let acquire t ~rack ~now_ms ~service_ms =
+let acquire_wait t ~rack ~now_ms ~service_ms =
   if rack < 0 || rack >= Array.length t.r_busy_until then
     invalid_arg "Rack.acquire: rack out of range";
   if service_ms < 0.0 then invalid_arg "Rack.acquire: negative service time";
@@ -49,4 +49,7 @@ let acquire t ~rack ~now_ms ~service_ms =
   servers.(best) <- finish_ms;
   t.r_served <- t.r_served + 1;
   t.r_queue_delay_ms <- t.r_queue_delay_ms +. (start_ms -. now_ms);
-  finish_ms
+  (finish_ms, start_ms -. now_ms)
+
+let acquire t ~rack ~now_ms ~service_ms =
+  fst (acquire_wait t ~rack ~now_ms ~service_ms)

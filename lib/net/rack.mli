@@ -32,6 +32,12 @@ val rack_of_node : racks:int -> node:int -> int
     [max now_ms free_at +. service_ms]. *)
 val acquire : t -> rack:int -> now_ms:float -> service_ms:float -> float
 
+(** Like {!acquire}, also returning the time the transfer spent queued
+    behind busy servers ([start -. now_ms]) — the live-traffic plane
+    charges this wait to the faulting request. *)
+val acquire_wait :
+  t -> rack:int -> now_ms:float -> service_ms:float -> float * float
+
 (** How long a transfer starting at [now_ms] would wait for a page
     server in [rack] — a placement estimate; books nothing. *)
 val wait_ms : t -> rack:int -> now_ms:float -> float

@@ -117,6 +117,29 @@ let serve_pages t stats ~page_bytes fetch =
         ~args:[ ("page", string_of_int pn) ] ~dur_ns:ns;
       Some data
 
+(* Cost-only sample of one demand page fetch under the fault plane: the
+   round trips, injected delays and retry backoff {!fetch_page} would
+   charge, without touching page contents. The live-traffic plane uses
+   this to charge millions of per-request stalls without building
+   images. Corrupt draws are counted as retransmissions (the cost model
+   ignores the empty-payload lucky case), drops and corruptions past the
+   attempt bound still cost their final round trip. Deterministic for a
+   given fault schedule position. *)
+let fetch_stall_ns t ?fault ~page_bytes () =
+  if not (is_lazy t) then invalid_arg "Transport.fetch_stall_ns: not a lazy transport";
+  let max_attempts = attempts t in
+  let base = page_fetch_ns t page_bytes in
+  let rec go k acc =
+    let acc = acc +. base in
+    match Option.bind fault (fun f -> Fault.draw f Fault.Page_fetch) with
+    | Some (Fault.Drop | Fault.Corrupt _) when k + 1 < max_attempts ->
+      go (k + 1) (acc +. backoff_ns t k)
+    | Some (Fault.Drop | Fault.Corrupt _) -> acc
+    | Some (Fault.Delay ns) -> acc +. ns
+    | Some Fault.Crash | None -> acc
+  in
+  go 0 0.0
+
 (* ----- checksummed transmission under the fault plane ----- *)
 
 (* One attempt at moving the named image files: every file is

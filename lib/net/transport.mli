@@ -205,3 +205,14 @@ val fetch_page :
   (int -> bytes option) ->
   int ->
   (bytes option, Dapper_error.t) result
+
+(** [fetch_stall_ns t ?fault ~page_bytes ()] samples the latency one
+    demand page fetch would charge — round trips, injected delays, and
+    retry backoff, mirroring {!fetch_page}'s accounting — without
+    touching page contents or stats. The live-traffic plane charges
+    millions of request stalls through this. Deterministic for a given
+    fault-schedule position; corrupt draws count as retransmissions
+    (the cost model ignores {!fetch_page}'s empty-payload lucky case);
+    a final failed attempt still costs its round trip. Raises
+    [Invalid_argument] if [t] is not lazy. *)
+val fetch_stall_ns : t -> ?fault:Fault.t -> page_bytes:int -> unit -> float

@@ -82,6 +82,27 @@ let observe h v =
 let histogram_sum h = h.h_sum
 let histogram_count h = h.h_count
 let histogram_name h = h.h_name
+
+(* Bucket-resolution quantile: the upper bound of the bucket holding the
+   q-th observation (nearest-rank over cumulative counts). Coarse by
+   construction — dashboards, not the sketch the traffic plane uses for
+   CDFs — but deterministic and O(buckets). The overflow bucket reports
+   the largest finite bound. *)
+let histogram_quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.histogram_quantile: q outside [0,1]";
+  if h.h_count = 0 then nan
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int h.h_count)) in
+    let rank = max 1 rank in
+    let n = Array.length h.h_bounds in
+    let rec go i acc =
+      if i >= n then (if n = 0 then infinity else h.h_bounds.(n - 1))
+      else
+        let acc = acc + h.h_counts.(i) in
+        if acc >= rank then h.h_bounds.(i) else go (i + 1) acc
+    in
+    go 0 0
+  end
 let histogram_buckets h =
   List.init (Array.length h.h_counts) (fun i ->
       let bound = if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity in

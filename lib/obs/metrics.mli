@@ -53,6 +53,14 @@ val histogram_name : histogram -> string
     overflow bucket. *)
 val histogram_buckets : histogram -> (float * int) list
 
+(** [histogram_quantile h q] is the upper bound of the bucket holding
+    the [q]-th observation (nearest-rank over cumulative counts) —
+    bucket-resolution, for dashboards; the traffic plane's CDFs use the
+    dedicated quantile sketch instead. [nan] on an empty histogram;
+    observations past the last bound report the largest finite bound.
+    Raises [Invalid_argument] if [q] is outside [0, 1]. *)
+val histogram_quantile : histogram -> float -> float
+
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 val find : string -> metric option

@@ -22,4 +22,5 @@ let () =
      @ Test_indexes.suites
      @ Test_verify.suites
      @ Test_chaos.suites
-     @ Test_obs.suites)
+     @ Test_obs.suites
+     @ Test_traffic.suites)

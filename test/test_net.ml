@@ -369,6 +369,63 @@ let test_pipeline_rejects_garbage () =
     (bad (fun () -> Transport.pipeline_schedule t ~bytes:4096 ~chunk_bytes:4096
                       ~recode_ns:(-1.0)))
 
+(* fetch_stall_ns: the cost-only mirror of fetch_page the live-traffic
+   plane charges millions of request stalls through. *)
+let test_fetch_stall_sampling () =
+  let t = Transport.page_server Link.infiniband in
+  let clean = Transport.fetch_stall_ns t ~page_bytes:4096 () in
+  check (Alcotest.float 0.0) "clean stall = one page fetch"
+    (Transport.page_fetch_ns t 4096) clean;
+  check (Alcotest.float 0.0) "deterministic without faults" clean
+    (Transport.fetch_stall_ns t ~page_bytes:4096 ());
+  (* a delay-injecting schedule costs strictly more than the clean path *)
+  let delayed =
+    let fault =
+      Fault.make ~seed:9
+        { Fault.calm with Fault.fs_delay = 1.0; fs_delay_ns = 5.0e6 }
+    in
+    Transport.fetch_stall_ns t ~fault ~page_bytes:4096 ()
+  in
+  check Alcotest.bool "injected delay adds latency" true (delayed > clean);
+  (* drops under a retrying wrapper pay round trips plus backoff *)
+  let retried =
+    let fault = Fault.make ~seed:5 { Fault.calm with Fault.fs_drop = 0.9 } in
+    Transport.fetch_stall_ns
+      (Transport.retrying ~attempts:4 t)
+      ~fault ~page_bytes:4096 ()
+  in
+  check Alcotest.bool "retried fetch costs more than clean" true
+    (retried > clean);
+  (* same schedule position, same sample *)
+  let again =
+    let fault = Fault.make ~seed:5 { Fault.calm with Fault.fs_drop = 0.9 } in
+    Transport.fetch_stall_ns
+      (Transport.retrying ~attempts:4 t)
+      ~fault ~page_bytes:4096 ()
+  in
+  check (Alcotest.float 0.0) "fault schedule replay is deterministic" retried
+    again;
+  try
+    ignore (Transport.fetch_stall_ns (Transport.scp Link.infiniband)
+              ~page_bytes:4096 ());
+    Alcotest.fail "eager transport accepted a fault sample"
+  with Invalid_argument _ -> ()
+
+let test_rack_acquire_wait () =
+  let t = Rack.create ~racks:1 ~servers_each:1 in
+  let finish, wait = Rack.acquire_wait t ~rack:0 ~now_ms:0.0 ~service_ms:5.0 in
+  check (Alcotest.float 0.0) "idle server: no wait" 0.0 wait;
+  check (Alcotest.float 0.0) "idle server: finish = service" 5.0 finish;
+  (* estimate agrees with what the next acquire will actually be charged *)
+  check (Alcotest.float 0.0) "wait_ms estimate matches" 4.0
+    (Rack.wait_ms t ~rack:0 ~now_ms:1.0);
+  let finish, wait = Rack.acquire_wait t ~rack:0 ~now_ms:1.0 ~service_ms:5.0 in
+  check (Alcotest.float 0.0) "busy server: queued behind" 4.0 wait;
+  check (Alcotest.float 0.0) "busy server: finish stacked" 10.0 finish;
+  (* acquire is acquire_wait without the wait component *)
+  check (Alcotest.float 0.0) "acquire = fst acquire_wait" 15.0
+    (Rack.acquire t ~rack:0 ~now_ms:2.0 ~service_ms:5.0)
+
 let suites =
   [ ( "net",
       [ Alcotest.test_case "link transfer math" `Quick test_link_transfer_math;
@@ -391,6 +448,9 @@ let suites =
           test_shard_queue_stealing;
         Alcotest.test_case "shard queue: whole-queue determinism" `Quick
           test_shard_queue_deterministic;
+        Alcotest.test_case "fetch stall sampling" `Quick test_fetch_stall_sampling;
+        Alcotest.test_case "rack: acquire_wait accounting" `Quick
+          test_rack_acquire_wait;
         Alcotest.test_case "rack: page-server pooling" `Quick test_rack_pooling;
         Alcotest.test_case "rack: striping and validation" `Quick
           test_rack_striping_and_validation;

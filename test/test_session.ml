@@ -613,6 +613,128 @@ let test_scoped_counters_immune_to_reset () =
   check Alcotest.bool "detached sink frozen" true
     (snapshot = (sink.Plan_cache.c_hits, sink.Plan_cache.c_misses))
 
+(* ----- iterative pre-copy ----- *)
+
+module Fleet = Dapper_cluster.Fleet
+
+let precopy_advance p = fun _ms -> ignore (Process.run p ~max_instrs:20_000)
+
+(* Abandoning a migration after pre-copy rounds must leave the source
+   resumable and oracle-identical to an unmigrated twin — pre-copy reads
+   pages and tracks writes, it never perturbs execution. The rollback
+   here happens mid-pipeline (after dump), the worst spot: tracking was
+   on, rounds ran, the pause is live. *)
+let test_precopy_rollback_leaves_source_resumable () =
+  let c = Registry_helpers.compute () in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:120_000);
+  let calls = ref 0 in
+  let pre =
+    Session.precopy (config_for c) p
+      ~advance:(fun _ms ->
+        incr calls;
+        ignore (Process.run p ~max_instrs:20_000))
+      ~max_rounds:4 ~downtime_budget_ms:0.0
+  in
+  check Alcotest.bool "rounds ran" true (List.length pre.Session.pcs_rounds >= 1);
+  check Alcotest.bool "tracking disabled after pre-copy" false
+    (Memory.tracking_dirty p.Process.mem);
+  (* now a real twin: same prefix, same advance budget *)
+  let expected =
+    let q = Process.load c.Link.cp_x86 in
+    ignore (Process.run q ~max_instrs:120_000);
+    ignore (Process.run q ~max_instrs:(!calls * 20_000));
+    match Process.run_to_completion q ~fuel:50_000_000 with
+    | Process.Exited_run v -> (v, Process.stdout_contents q)
+    | _ -> Alcotest.fail "twin run failed"
+  in
+  let unwrap = function Ok v -> v | Error e -> Alcotest.fail (Derr.to_string e) in
+  let s = unwrap (Session.pause (Session.start (config_for c) p)) in
+  let s = unwrap (Session.dump s) in
+  Session.rollback s;
+  check Alcotest.bool "source was resumed" true (not (Process.all_quiescent p));
+  (* the twin's stdout includes the pre-pause prefix; the source's
+     stdout accumulates across pause/rollback, so compare full runs *)
+  match Process.run_to_completion p ~fuel:50_000_000 with
+  | Process.Exited_run v ->
+    check Alcotest.bool "exit preserved after pre-copy + rollback" true
+      (Int64.equal v (fst expected));
+    check Alcotest.string "output preserved after pre-copy + rollback"
+      (snd expected) (Process.stdout_contents p)
+  | _ -> Alcotest.fail "source did not finish after rollback"
+
+(* Pre-copy stats must partition the candidate set, and feeding the
+   resident set back as [cfg_resident_pages] must shrink the blackout
+   transfer charge relative to an identical vanilla session. *)
+let test_precopy_resident_discount () =
+  let c = Registry_helpers.compute () in
+  let scaled_cfg =
+    { (config_for c) with Session.cfg_bytes_scale = 1500.0 }
+  in
+  let load_twin extra =
+    let p = Process.load c.Link.cp_x86 in
+    ignore (Process.run p ~max_instrs:120_000);
+    if extra > 0 then ignore (Process.run p ~max_instrs:extra);
+    p
+  in
+  let p = load_twin 0 in
+  let calls = ref 0 in
+  let pre =
+    Session.precopy scaled_cfg p
+      ~advance:(fun _ms ->
+        incr calls;
+        ignore (Process.run p ~max_instrs:20_000))
+      ~max_rounds:4 ~downtime_budget_ms:0.0
+  in
+  check Alcotest.bool "some pages settle resident" true
+    (pre.Session.pcs_resident <> []);
+  check Alcotest.bool "resident and residual disjoint" true
+    (List.for_all
+       (fun pn -> not (List.mem pn pre.Session.pcs_residual))
+       pre.Session.pcs_resident);
+  check Alcotest.bool "multiset total covers both sets" true
+    (pre.Session.pcs_pages_sent
+     >= List.length pre.Session.pcs_resident
+        + List.length pre.Session.pcs_residual);
+  let run_with cfg q =
+    match Session.run cfg q with
+    | Ok st -> Session.times st
+    | Error e -> Alcotest.fail (Derr.to_string e)
+  in
+  let hybrid_times =
+    run_with
+      { scaled_cfg with Session.cfg_resident_pages = pre.Session.pcs_resident }
+      p
+  in
+  let vanilla_times = run_with scaled_cfg (load_twin (!calls * 20_000)) in
+  check Alcotest.bool
+    (Printf.sprintf "resident discount shrinks transfer: %.3f < %.3f"
+       hybrid_times.Session.t_scp_ms vanilla_times.Session.t_scp_ms)
+    true
+    (hybrid_times.Session.t_scp_ms < vanilla_times.Session.t_scp_ms)
+
+(* A failed eviction that already charged pre-copy round time to the
+   victim's stall ledger settles like any other failed attempt: the
+   attempt's own charge is refunded, pre-existing debt survives, and the
+   ledger never goes negative (extends the PR-5 settlement rule to
+   pre-copy-shaped charges). *)
+let test_precopy_stall_ledger_settled () =
+  let c = Registry_helpers.compute () in
+  let p = Process.load c.Link.cp_x86 in
+  ignore (Process.run p ~max_instrs:120_000);
+  let pre =
+    Session.precopy (config_for c) p ~advance:(precopy_advance p)
+      ~max_rounds:3 ~downtime_budget_ms:0.0
+  in
+  let charged = pre.Session.pcs_ms in
+  check Alcotest.bool "pre-copy charged time" true (charged > 0.0);
+  check (Alcotest.float 1e-9) "attempt's pre-copy charge refunded" 25.0
+    (Fleet.settle_failed_eviction ~owed_ms:(charged +. 25.0) ~charged_ms:charged);
+  check (Alcotest.float 1e-9) "ledger never goes negative" 0.0
+    (Fleet.settle_failed_eviction ~owed_ms:(charged /. 2.0) ~charged_ms:charged);
+  check (Alcotest.float 1e-9) "full refund settles to zero" 0.0
+    (Fleet.settle_failed_eviction ~owed_ms:charged ~charged_ms:charged)
+
 let suites =
   [ ( "session",
       [ Alcotest.test_case "run: happy path + stage log" `Quick test_run_happy_path;
@@ -645,4 +767,10 @@ let suites =
         Alcotest.test_case "warm memo shrinks recode charge" `Quick
           test_memo_warm_session;
         Alcotest.test_case "scoped counters immune to reset" `Quick
-          test_scoped_counters_immune_to_reset ] ) ]
+          test_scoped_counters_immune_to_reset;
+        Alcotest.test_case "pre-copy rollback leaves source resumable" `Quick
+          test_precopy_rollback_leaves_source_resumable;
+        Alcotest.test_case "pre-copy resident discount" `Quick
+          test_precopy_resident_discount;
+        Alcotest.test_case "pre-copy stall ledger settled" `Quick
+          test_precopy_stall_ledger_settled ] ) ]
