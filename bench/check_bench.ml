@@ -28,6 +28,16 @@ let required_live_fields =
   [ "requests"; "stalled"; "faulted"; "precopy_ms"; "blackout_ms"; "p50_ms";
     "p99_ms"; "p999_ms"; "mig_p50_ms"; "mig_p99_ms"; "mig_p999_ms" ]
 
+(* Both arms of the sustained-chaos sweep must be present, every row
+   must carry these numeric fields, the per-arm verdicts must account
+   for every seed (no lost states), and the control plane must not
+   worsen the during-migration tail. *)
+let required_chaos_arms = [ "on"; "off" ]
+
+let required_chaos_fields =
+  [ "seeds"; "committed"; "degraded"; "rolled_back"; "postponed"; "attempts";
+    "sheds"; "breaker_trips"; "deadline_cancels"; "availability"; "mig_p99_ms" ]
+
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("check_bench: " ^ s); exit 1) fmt
 
 let () =
@@ -159,8 +169,60 @@ let () =
       if not (List.mem want live_mechanisms) then
         die "%s: fig7_live missing mechanism %S" file want)
     required_live_mechanisms;
+  let chaos_rows =
+    match J.member_opt "fig9_chaos" doc with
+    | Some l ->
+      (try J.to_list l with _ -> die "%s: \"fig9_chaos\" is not a list" file)
+    | None -> die "%s: missing key \"fig9_chaos\"" file
+  in
+  if chaos_rows = [] then die "%s: \"fig9_chaos\" is empty" file;
+  let chaos_field arm row field =
+    match J.member_opt field row with
+    | Some v ->
+      (try J.to_float v
+       with _ -> die "%s: fig9_chaos %s: %S is not a number" file arm field)
+    | None -> die "%s: fig9_chaos %s: missing %S" file arm field
+  in
+  let chaos_arms =
+    List.map
+      (fun row ->
+        let arm =
+          match J.member_opt "control" row with
+          | Some c ->
+            (try J.to_str c
+             with _ -> die "%s: fig9_chaos row \"control\" is not a string" file)
+          | None -> die "%s: fig9_chaos row missing \"control\"" file
+        in
+        List.iter (fun f -> ignore (chaos_field arm row f)) required_chaos_fields;
+        let seeds = chaos_field arm row "seeds" in
+        if seeds <= 0.0 then die "%s: fig9_chaos %s: seeds is zero" file arm;
+        let verdicts =
+          chaos_field arm row "committed"
+          +. chaos_field arm row "degraded"
+          +. chaos_field arm row "rolled_back"
+        in
+        if verdicts <> seeds then
+          die
+            "%s: fig9_chaos %s: committed+degraded+rolled_back = %g <> %g \
+             seeds (a run ended without an explicit verdict)"
+            file arm verdicts seeds;
+        (arm, chaos_field arm row "mig_p99_ms"))
+      chaos_rows
+  in
+  List.iter
+    (fun want ->
+      if not (List.mem_assoc want chaos_arms) then
+        die "%s: fig9_chaos missing control arm %S" file want)
+    required_chaos_arms;
+  (match (List.assoc_opt "on" chaos_arms, List.assoc_opt "off" chaos_arms) with
+   | Some p_on, Some p_off when p_on > p_off ->
+     die
+       "%s: fig9_chaos: control-on during-migration p99 (%.2f ms) worse than \
+        control-off (%.2f ms)"
+       file p_on p_off
+   | _ -> ());
   Printf.printf
     "check_bench: %s ok (%d benchmarks, %d required present, %d fig8-xl rows, \
-     %d fig7-live rows)\n"
+     %d fig7-live rows, %d fig9-chaos rows)\n"
     file (List.length names) (List.length required_names) (List.length xl_rows)
-    (List.length live_rows)
+    (List.length live_rows) (List.length chaos_rows)

@@ -487,12 +487,13 @@ let fig7_live () =
      in
      Tbl.print
        ~title:"Fig 7-live: downtime-budget mechanism selection (redis)"
-       ~header:[ "budget"; "chosen"; "projected downtime" ]
+       ~header:[ "budget"; "chosen"; "projected downtime"; "fits budget" ]
        (List.map
           (fun budget ->
-            let mech = Tr.Budget.choose ~budget_ms:budget est in
+            let mech, fits = Tr.Budget.choose_detail ~budget_ms:budget est in
             [ Tbl.ms budget; Tr.Budget.mechanism_name mech;
-              Tbl.ms (Tr.Budget.downtime_ms est mech) ])
+              Tbl.ms (Tr.Budget.downtime_ms est mech);
+              (if fits then "yes" else "no (least-bad fallback)") ])
           [ 2000.0; 500.0; 100.0; 10.0 ])
    | [] -> ());
   print_newline ()
@@ -610,7 +611,9 @@ let fig8_xl_config ~nodes ~jobs ~policy =
     x_page_servers_each = 4;
     x_slo_factor = 2.5;
     x_fault = None;
-    x_loss_every_ms = 0.0 }
+    x_loss_every_ms = 0.0;
+    x_rack_gate = None;
+    x_rack_report = None }
 
 let fig8_xl_scales =
   [ (10, 1_000); (100, 10_000); (1_000, 100_000); (10_000, 1_000_000) ]
@@ -724,6 +727,94 @@ let fig9 () =
     ~header:[ "benchmark"; "arch"; "checkpoint"; "shuffle(SBI)"; "recode"; "restore"; "total" ]
     rows;
   Printf.printf "paper: average 573 ms on x86-64, 3.2 s on aarch64 (proportional to code size)\n\n"
+
+(* ----- Fig 9-chaos: the self-healing control plane under sustained faults ----- *)
+
+module Health = Dapper_health
+
+let fig9_chaos_seed0 = 0x9CA05EEDL
+
+let fig9_chaos_setup () =
+  let m = Servers.redis ~keys:2048 ~ops:3000 () in
+  let c = Link.compile ~app:"redis-chaos" m in
+  let total = native_instrs c Arch.X86_64 in
+  let src_bin = Link.binary_for c Arch.X86_64 in
+  let dst_bin = Link.binary_for c Arch.Aarch64 in
+  let warm = max 10_000 (int_of_float (Int64.to_float total *. 0.5)) in
+  let fresh () =
+    let p = Process.load src_bin in
+    (match Process.run p ~max_instrs:warm with
+     | Process.Progress -> ()
+     | _ -> failwith "redis-chaos: finished before migration point");
+    p
+  in
+  let scfg =
+    { (Session.default_config ~src_bin ~dst_bin) with
+      Session.cfg_src_node = node_of Arch.X86_64;
+      cfg_dst_node = node_of Arch.Aarch64;
+      cfg_recode_node = node_of Arch.X86_64;
+      cfg_bytes_scale = bytes_scale }
+  in
+  (scfg, fresh)
+
+(* Both arms replay the same seeds — the same scenarios, the same fault
+   schedules — so the control-on vs control-off contrast is paired. *)
+let fig9_chaos_sweep ?(seeds = 200) ?(requests = 20_000) () =
+  let scfg, fresh = fig9_chaos_setup () in
+  List.map
+    (fun control ->
+      let cfg =
+        { Health.Sustained.default_cfg with
+          Health.Sustained.su_requests = requests;
+          su_control = control }
+      in
+      Health.Sustained.sweep cfg scfg ~fresh ~seeds ~seed0:fig9_chaos_seed0)
+    [ true; false ]
+
+let fig9_chaos_sustained () =
+  let arms = fig9_chaos_sweep () in
+  let q s p =
+    if Tr.Sketch.count s = 0 then 0.0 else Tr.Sketch.quantile s p
+  in
+  Tbl.print
+    ~title:
+      "Fig 9-chaos: 200 seeds of sustained correlated faults, control plane \
+       on vs off"
+    ~header:
+      [ "control"; "committed"; "degraded"; "rolled back"; "postponed";
+        "attempts"; "sheds"; "trips"; "cancels"; "availability"; "mig p99";
+        "p99" ]
+    (List.map
+       (fun (_, (y : Health.Sustained.summary)) ->
+         [ (if y.Health.Sustained.y_control then "on" else "off");
+           string_of_int y.Health.Sustained.y_committed;
+           string_of_int y.Health.Sustained.y_degraded;
+           string_of_int y.Health.Sustained.y_rolled_back;
+           string_of_int y.Health.Sustained.y_postponed;
+           string_of_int y.Health.Sustained.y_attempts;
+           string_of_int y.Health.Sustained.y_sheds;
+           string_of_int y.Health.Sustained.y_trips;
+           string_of_int y.Health.Sustained.y_cancels;
+           Printf.sprintf "%.4f" y.Health.Sustained.y_availability;
+           Tbl.ms (Health.Sustained.mig_p99 y);
+           Tbl.ms (q y.Health.Sustained.y_all 0.99) ])
+       arms);
+  (* one sample degradation trace, so the event plumbing is visible *)
+  (match arms with
+   | (runs, _) :: _ ->
+     (match
+        List.find_opt
+          (fun r -> r.Health.Sustained.r_events <> [])
+          runs
+      with
+      | Some r ->
+        Printf.printf "sample degradation trace (seed %016Lx, %s):\n"
+          r.Health.Sustained.r_seed
+          (Health.Sustained.verdict_name r.Health.Sustained.r_verdict);
+        List.iter print_endline (Health.Sustained.event_lines r)
+      | None -> ())
+   | [] -> ());
+  print_newline ()
 
 let fig10 () =
   let per_arch arch =
@@ -1010,6 +1101,7 @@ let all () =
   fig8_fleet ();
   fig8_xl ();
   fig9 ();
+  fig9_chaos_sustained ();
   fig10 ();
   fig11 ();
   exploits ();

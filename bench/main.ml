@@ -7,6 +7,7 @@ let experiments =
     ("fig7-live", Experiments.fig7_live);
     ("fig8", Experiments.fig8); ("fig8-fleet", Experiments.fig8_fleet);
     ("fig8-xl", Experiments.fig8_xl); ("fig9", Experiments.fig9);
+    ("fig9-chaos-sustained", Experiments.fig9_chaos_sustained);
     ("fig10", Experiments.fig10);
     ("fig11", Experiments.fig11); ("exploits", Experiments.exploits);
     ("ablation", Experiments.ablation); ("rerand", Experiments.rerand);

@@ -289,19 +289,50 @@ let run_micro ?(json = false) ?(smoke = false) ?trace () =
               ("fingerprint", J.String r.Experiments.lv_fingerprint) ])
         live_rows
     in
+    (* fig9-chaos rows: the self-healing control plane under sustained
+       correlated faults, one row per arm (control on / off) over the
+       same seeds. Smoke trims the seed count and request plane. *)
+    let chaos_arms =
+      Experiments.fig9_chaos_sweep
+        ~seeds:(if smoke then 12 else 200)
+        ~requests:(if smoke then 6_000 else 20_000)
+        ()
+    in
+    let chaos_entries =
+      List.map
+        (fun ((_, y) : _ * Experiments.Health.Sustained.summary) ->
+          let module S = Experiments.Health.Sustained in
+          J.Obj
+            [ ("control", J.String (if y.S.y_control then "on" else "off"));
+              ("seeds", J.Float (float y.S.y_seeds));
+              ("committed", J.Float (float y.S.y_committed));
+              ("degraded", J.Float (float y.S.y_degraded));
+              ("rolled_back", J.Float (float y.S.y_rolled_back));
+              ("postponed", J.Float (float y.S.y_postponed));
+              ("attempts", J.Float (float y.S.y_attempts));
+              ("sheds", J.Float (float y.S.y_sheds));
+              ("breaker_trips", J.Float (float y.S.y_trips));
+              ("deadline_cancels", J.Float (float y.S.y_cancels));
+              ("availability", J.Float y.S.y_availability);
+              ("mig_p99_ms", J.Float (S.mig_p99 y)) ])
+        chaos_arms
+    in
     let doc =
       J.Obj
         [ ("suite", J.String "dapper-micro"); ("smoke", J.Bool smoke);
           ("benchmarks", J.List entries); ("fig8_xl", J.List xl_entries);
-          ("fig7_live", J.List live_entries) ]
+          ("fig7_live", J.List live_entries);
+          ("fig9_chaos", J.List chaos_entries) ]
     in
     let oc = open_out results_file in
     output_string oc (J.to_string doc);
     output_char oc '\n';
     close_out oc;
-    Printf.printf "wrote %s (%d benchmarks, %d fig8-xl rows, %d fig7-live rows)\n"
+    Printf.printf
+      "wrote %s (%d benchmarks, %d fig8-xl rows, %d fig7-live rows, %d \
+       fig9-chaos rows)\n"
       results_file (List.length entries) (List.length xl_entries)
-      (List.length live_entries)
+      (List.length live_entries) (List.length chaos_entries)
   end;
   Option.iter run_trace trace
 

@@ -153,20 +153,24 @@ let run_fastpath points =
 
 (* ----- chaos runs ----- *)
 
-let run_chaos seeds prob verbose pipeline =
+let run_chaos seeds prob verbose pipeline mechanism =
   let spec = Dapper_util.Fault.uniform prob in
   let progress r =
     if verbose then print_endline (Dapper_verify.Chaos.run_report_to_string r)
   in
-  match Dapper_verify.Chaos.sweep ~pipeline ~progress ~spec ~seeds () with
+  let tag =
+    (if pipeline then " (pipelined)" else "")
+    ^ match mechanism with
+      | None -> ""
+      | Some m -> " [" ^ Dapper_traffic.Budget.mechanism_name m ^ "]"
+  in
+  match Dapper_verify.Chaos.sweep ~pipeline ?mechanism ~progress ~spec ~seeds () with
   | Ok s ->
-    Printf.printf "chaos p=%g%s: %s\n%!" prob
-      (if pipeline then " (pipelined)" else "")
+    Printf.printf "chaos p=%g%s: %s\n%!" prob tag
       (Dapper_verify.Chaos.summary_to_string s);
     true
   | Error f ->
-    Printf.printf "chaos p=%g%s FAILED %s\n%!" prob
-      (if pipeline then " (pipelined)" else "")
+    Printf.printf "chaos p=%g%s FAILED %s\n%!" prob tag
       (Dapper_verify.Chaos.failure_to_string f);
     false
 
@@ -189,6 +193,110 @@ let run_chaos_table seeds =
           (Dapper_verify.Chaos.failure_to_string f);
         false)
     [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.4 ]
+
+(* ----- sustained chaos: the self-healing control plane ----- *)
+
+module Sustained = Dapper_health.Sustained
+module Session = Dapper.Session
+module Process = Dapper_machine.Process
+
+(* Mirror of the bench fig9-chaos setup, trimmed for gate time: a warm
+   redis parked halfway through its run, migrating xeon -> rpi with the
+   paper-scale byte factor. *)
+let sustained_setup () =
+  let m = Servers.redis ~keys:1024 ~ops:2000 () in
+  let c = Link.compile ~app:"redis-sustained" m in
+  let src_bin = Link.binary_for c Arch.X86_64 in
+  let dst_bin = Link.binary_for c Arch.Aarch64 in
+  let total =
+    let p = Process.load src_bin in
+    match Process.run_to_completion p ~fuel:400_000_000 with
+    | Process.Exited_run _ -> p.Process.total_instrs
+    | _ -> failwith "redis-sustained: native run failed"
+  in
+  let warm = max 10_000 (int_of_float (Int64.to_float total *. 0.5)) in
+  let fresh () =
+    let p = Process.load src_bin in
+    (match Process.run p ~max_instrs:warm with
+     | Process.Progress -> ()
+     | _ -> failwith "redis-sustained: finished before migration point");
+    p
+  in
+  let scfg =
+    { (Session.default_config ~src_bin ~dst_bin) with
+      Session.cfg_src_node = Dapper_net.Node.xeon;
+      cfg_dst_node = Dapper_net.Node.rpi;
+      cfg_recode_node = Dapper_net.Node.xeon;
+      cfg_bytes_scale = 1500.0 }
+  in
+  (scfg, fresh)
+
+(* Two-arm sustained sweep over the same seeds, with the gate's
+   invariants enforced: every run ends in an explicit commit, degraded
+   commit, or rollback (no lost states), attempts stay bounded, and the
+   control plane must not worsen the during-migration tail. *)
+let run_sustained seeds events_file =
+  let scfg, fresh = sustained_setup () in
+  let arms =
+    List.map
+      (fun control ->
+        let cfg = { Sustained.default_cfg with Sustained.su_control = control } in
+        Sustained.sweep cfg scfg ~fresh ~seeds ~seed0:0x5EED5EEDL)
+      [ true; false ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun ((runs, y) : Sustained.run list * Sustained.summary) ->
+      print_endline (Sustained.summary_line y);
+      let arm = if y.Sustained.y_control then "control-on" else "control-off" in
+      let verdicts =
+        y.Sustained.y_committed + y.Sustained.y_degraded + y.Sustained.y_rolled_back
+      in
+      if verdicts <> seeds then begin
+        ok := false;
+        Printf.printf
+          "sustained FAILED (%s): %d explicit verdicts <> %d seeds — a run \
+           ended without committing or rolling back\n%!"
+          arm verdicts seeds
+      end;
+      List.iter
+        (fun (r : Sustained.run) ->
+          if r.Sustained.r_attempts > Sustained.default_cfg.Sustained.su_max_attempts
+          then begin
+            ok := false;
+            Printf.printf
+              "sustained FAILED (%s): seed %016Lx took %d attempts (bound %d)\n%!"
+              arm r.Sustained.r_seed r.Sustained.r_attempts
+              Sustained.default_cfg.Sustained.su_max_attempts
+          end)
+        runs)
+    arms;
+  (match arms with
+   | [ (_, on); (_, off) ] ->
+     let p_on = Sustained.mig_p99 on and p_off = Sustained.mig_p99 off in
+     Printf.printf "during-migration p99: %.2f ms on vs %.2f ms off\n%!" p_on p_off;
+     if p_on > p_off then begin
+       ok := false;
+       Printf.printf
+         "sustained FAILED: control plane worsened the during-migration p99\n%!"
+     end
+   | _ -> ());
+  (match events_file with
+   | None -> ()
+   | Some file ->
+     let oc = open_out file in
+     (match arms with
+      | (runs, _) :: _ ->
+        List.iter
+          (fun (r : Sustained.run) ->
+            List.iter
+              (fun l -> output_string oc (l ^ "\n"))
+              (Sustained.event_lines r))
+          runs
+      | [] -> ());
+     close_out oc;
+     Printf.printf "degradation-event trace written to %s\n%!" file);
+  !ok
 
 (* ----- the full gate ----- *)
 
@@ -247,20 +355,38 @@ let cmd =
       Cmd.v
         (Cmd.info "chaos"
            ~doc:"Seeded fault-injection sweep: every run must commit or roll back \
-                 cleanly. With $(b,--table), sweep a range of fault probabilities.")
-        Term.(const (fun seeds prob verbose table trace pipeline ->
-                  if trace <> None then Dapper_obs.Trace.start ();
-                  let ok =
-                    if table then run_chaos_table seeds
-                    else run_chaos seeds prob verbose pipeline
-                  in
-                  (match trace with
-                   | None -> ()
-                   | Some file ->
-                     Dapper_obs.Trace.stop ();
-                     Dapper_obs.Trace.export ~file;
-                     Printf.printf "trace written to %s\n%!" file);
-                  if ok then 0 else 1)
+                 cleanly. With $(b,--table), sweep a range of fault probabilities. \
+                 With $(b,--sustained), run the self-healing control plane under \
+                 sustained correlated faults, control on vs off.")
+        Term.(const (fun seeds prob verbose table trace pipeline mechanism
+                       sustained events ->
+                  match
+                    match mechanism with
+                    | None -> Ok None
+                    | Some s ->
+                      (match Dapper_traffic.Budget.mechanism_of_string s with
+                       | Some m -> Ok (Some m)
+                       | None -> Error s)
+                  with
+                  | Error s ->
+                    Printf.eprintf
+                      "verify: unknown mechanism %S (expected vanilla, precopy, \
+                       lazy, or hybrid)\n%!" s;
+                    1
+                  | Ok mechanism ->
+                    if trace <> None then Dapper_obs.Trace.start ();
+                    let ok =
+                      if sustained then run_sustained seeds events
+                      else if table then run_chaos_table seeds
+                      else run_chaos seeds prob verbose pipeline mechanism
+                    in
+                    (match trace with
+                     | None -> ()
+                     | Some file ->
+                       Dapper_obs.Trace.stop ();
+                       Dapper_obs.Trace.export ~file;
+                       Printf.printf "trace written to %s\n%!" file);
+                    if ok then 0 else 1)
               $ Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N"
                        ~doc:"Number of seeded fault schedules to sweep.")
               $ Arg.(value & opt float 0.2 & info [ "prob" ] ~docv:"P"
@@ -274,7 +400,19 @@ let cmd =
               $ Arg.(value & flag & info [ "pipeline" ]
                        ~doc:"Stream transfers in page-sized chunks (the pipelined \
                              fast path); faults mid-stream must still commit or \
-                             roll back."));
+                             roll back.")
+              $ Arg.(value & opt (some string) None
+                     & info [ "mechanism" ] ~docv:"MECH"
+                         ~doc:"Pin the copy mechanism (vanilla, precopy, lazy, or \
+                               hybrid) instead of drawing it per seed.")
+              $ Arg.(value & flag & info [ "sustained" ]
+                       ~doc:"Sustained-chaos gate: correlated fault windows, the \
+                             full health plane on vs off over the same seeds; \
+                             every run must end in an explicit commit, degraded \
+                             commit, or rollback.")
+              $ Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+                       ~doc:"With $(b,--sustained), write the control-on \
+                             degradation-event trace to $(docv)."));
       Cmd.v
         (Cmd.info "fastpath"
            ~doc:"Byte-equivalence of the recode fast paths (pipelined, memoized, \

@@ -14,6 +14,7 @@ let m_eviction_retries = Metrics.counter "fleet.eviction_retries"
 let m_eviction_failures = Metrics.counter "fleet.eviction_failures"
 let m_nodes_lost = Metrics.counter "fleet.nodes_lost"
 let m_migration_ms = Metrics.gauge "fleet.migration_ms"
+let m_deferred = Metrics.counter "fleet.evictions_deferred"
 
 type config = {
   f_window_ms : float;
@@ -29,6 +30,9 @@ type config = {
   f_transport : Transport.t;
   f_fault : Fault.t option;
   f_placement : Placement.t;
+  f_node_gate : (node:int -> now_ms:float -> bool) option;
+  f_node_report : (node:int -> now_ms:float -> ok:bool -> unit) option;
+  f_slo_gate : (now_ms:float -> bool) option;
 }
 
 let default_config =
@@ -36,7 +40,8 @@ let default_config =
     f_rpi_slots_each = 3; f_evict = true; f_bytes_scale = 1.0;
     f_job_fuel = 50_000_000; f_speed_scale = 4200.0; f_pause_budget = 50_000_000;
     f_transport = Transport.scp Dapper_net.Link.infiniband; f_fault = None;
-    f_placement = Placement.Latest_start }
+    f_placement = Placement.Latest_start; f_node_gate = None;
+    f_node_report = None; f_slo_gate = None }
 
 type stats = {
   f_jobs_done : int;
@@ -50,6 +55,7 @@ type stats = {
   f_energy_kj : float;
   f_jobs_per_kj : float;
   f_events : int;
+  f_deferred : int;
 }
 
 exception Fleet_error of string
@@ -137,11 +143,35 @@ let run config (jobs : Link.compiled list) =
      armed conditions are re-checked here; between arming (at the
      boundary) and firing, only earlier evictions of the same quantum
      run, and those never free a Xeon slot or touch another Pi. *)
+  let deferred = ref 0 in
+  let gate_ok f = match f with None -> true | Some g -> g in
+  let report ~node ~now_ms ~ok =
+    match config.f_node_report with
+    | None -> ()
+    | Some r -> r ~node ~now_ms ~ok
+  in
   let attempt_eviction q pi =
     if
       pi.s_job = None && (not pi.s_dead)
       && Array.for_all (fun s -> s.s_job <> None) xeon_slots
-    then begin
+    then
+      (* health admission: a quarantined destination or a traffic plane
+         already missing its SLO defers the eviction — the slot stays
+         free and the next boundary re-arms it, so deferral is backoff,
+         not loss *)
+      if
+        not
+          (gate_ok
+             (Option.map
+                (fun g -> g ~node:pi.s_idx ~now_ms:(time_of q))
+                config.f_node_gate)
+           && gate_ok
+                (Option.map (fun g -> g ~now_ms:(time_of q)) config.f_slo_gate))
+      then begin
+        incr deferred;
+        Metrics.inc m_deferred
+      end
+      else begin
       (* the policy picks the victim among busy xeon slots (in slot
          order); the default [Latest_start] reproduces the old
          hardcoded most-recently-started fold exactly *)
@@ -196,7 +226,8 @@ let run config (jobs : Link.compiled list) =
               if node_killed then begin
                 incr eviction_retries;
                 Metrics.inc m_eviction_retries;
-                recover job.r_compiled.Link.cp_app
+                recover job.r_compiled.Link.cp_app;
+                report ~node:pi.s_idx ~now_ms:(time_of q) ~ok:false
               end
               else
                 Trace.span ~cat:"fleet" "eviction"
@@ -205,6 +236,7 @@ let run config (jobs : Link.compiled list) =
                 (match Session.run scfg job.r_proc with
                  | Ok st ->
                    let r = Session.finish st in
+                   report ~node:pi.s_idx ~now_ms:(time_of q) ~ok:true;
                    incr evictions;
                    Metrics.inc m_evictions;
                    let cost = Session.total_ms r.Session.r_times in
@@ -223,6 +255,7 @@ let run config (jobs : Link.compiled list) =
                       advance covers its replacement job *)
                    push_ev q (key_advance pi.s_idx) (Advance pi.s_idx)
                  | Error e ->
+                   report ~node:pi.s_idx ~now_ms:(time_of q) ~ok:false;
                    (* The session's rollback already resumed the source. A
                       transient failure (drain budget exhausted, transfer
                       timed out, node lost) leaves the job in place to
@@ -364,4 +397,5 @@ let run config (jobs : Link.compiled list) =
     f_migration_ms_total = !migration_ms;
     f_energy_kj = energy_j /. 1000.0;
     f_jobs_per_kj = float_of_int !done_total /. (energy_j /. 1000.0);
-    f_events = !events }
+    f_events = !events;
+    f_deferred = !deferred }

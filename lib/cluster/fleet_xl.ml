@@ -25,6 +25,8 @@ type config = {
   x_slo_factor : float;
   x_fault : Fault.t option;
   x_loss_every_ms : float;
+  x_rack_gate : (rack:int -> now_ms:float -> bool) option;
+  x_rack_report : (rack:int -> now_ms:float -> ok:bool -> unit) option;
 }
 
 type stats = {
@@ -205,22 +207,29 @@ let run config kinds =
              total estimate) *)
           let class_waits = Array.make (Array.length classes) 0.0 in
           let candidates =
-            List.map
+            List.filter_map
               (fun (ci, id) ->
                 let c = classes.(ci) in
                 let rack =
                   Rack.rack_of_node ~racks:config.x_racks ~node:(slot id).s_node_id
                 in
-                let wait = Rack.wait_ms racks ~rack ~now_ms:now in
-                class_waits.(ci) <- wait;
-                { Placement.dc_index = ci;
-                  dc_lowest_slot = id;
-                  dc_ops_per_ns = c.xc_node.Node.n_ops_per_ns;
-                  dc_core_w = c.xc_node.Node.n_core_w;
-                  dc_est_ms =
-                    wait
-                    +. kind.Scheduler.jk_migration_ms
-                    +. exec_ms_on c.xc_node kind })
+                (* a quarantined rack sheds its load to the others: its
+                   free slots simply stop being candidates until the
+                   health plane re-admits it *)
+                match config.x_rack_gate with
+                | Some g when not (g ~rack ~now_ms:now) -> None
+                | _ ->
+                  let wait = Rack.wait_ms racks ~rack ~now_ms:now in
+                  class_waits.(ci) <- wait;
+                  Some
+                    { Placement.dc_index = ci;
+                      dc_lowest_slot = id;
+                      dc_ops_per_ns = c.xc_node.Node.n_ops_per_ns;
+                      dc_core_w = c.xc_node.Node.n_core_w;
+                      dc_est_ms =
+                        wait
+                        +. kind.Scheduler.jk_migration_ms
+                        +. exec_ms_on c.xc_node kind })
               free_classes
             |> List.filter (admits ~deadline)
           in
@@ -263,6 +272,12 @@ let run config kinds =
         Metrics.inc m_jobs_done;
         if job.i_slow then begin
           incr done_slow;
+          (match config.x_rack_report with
+           | None -> ()
+           | Some r ->
+             r
+               ~rack:(Rack.rack_of_node ~racks:config.x_racks ~node:s.s_node_id)
+               ~now_ms:now ~ok:true);
           let deadline = config.x_slo_factor *. job.i_kind.Scheduler.jk_xeon_ms in
           if now -. job.i_dispatched_ms <= deadline then incr slo_met
           else incr slo_missed
@@ -279,7 +294,7 @@ let run config kinds =
      (lazily) and any in-flight jobs are lost and re-enqueued — their
      stale generation voids the pending completion. *)
   let kill_cursor = ref 0 in
-  let kill_next_node () =
+  let kill_next_node now =
     let n = Array.length slow_slots in
     if n > 0 then begin
       let rec find tries =
@@ -299,6 +314,12 @@ let run config kinds =
       | Some slots ->
         incr nodes_lost;
         Metrics.inc m_nodes_lost;
+        (match (config.x_rack_report, slots) with
+         | Some r, s :: _ ->
+           r
+             ~rack:(Rack.rack_of_node ~racks:config.x_racks ~node:s.s_node_id)
+             ~now_ms:now ~ok:false
+         | _ -> ());
         List.iter
           (fun s ->
             s.s_dead <- true;
@@ -316,7 +337,7 @@ let run config kinds =
     (match config.x_fault with
      | Some f when now < config.x_window_ms ->
        (match Fault.draw f Fault.Dest_node with
-        | Some Fault.Crash -> kill_next_node ()
+        | Some Fault.Crash -> kill_next_node now
         | _ -> ());
        Event_heap.push heap ~key:key_loss ~time:(now +. config.x_loss_every_ms) Loss_draw
      | _ -> ())

@@ -53,6 +53,17 @@ type config = {
       (** per-job deadline = factor x the job's fast-tier runtime *)
   x_fault : Fault.t option;
   x_loss_every_ms : float;   (** period of chaos node-loss draws *)
+  x_rack_gate : (rack:int -> now_ms:float -> bool) option;
+      (** health admission per rack: [false] removes the rack's free
+          slots from the candidate set, shedding its load to the other
+          racks until the health plane re-admits it. Wire
+          [Dapper_health.Quarantine]/[Breaker] here. [None] (default
+          semantics): every rack admitted — byte-identical to the
+          pre-health engine. *)
+  x_rack_report : (rack:int -> now_ms:float -> ok:bool -> unit) option;
+      (** outcome feedback per rack: [ok:false] when a node on the rack
+          is killed by the chaos plane, [ok:true] when a slow-tier job
+          completes there — the failure-EWMA input. *)
 }
 
 type stats = {

@@ -1,0 +1,15 @@
+module Sketch = Dapper_traffic.Sketch
+
+let node_gate q ~node ~now_ms = Quarantine.admits q ~key:node ~now_ms
+let node_report q ~node ~now_ms ~ok = Quarantine.report q ~key:node ~now_ms ~ok
+let rack_gate q ~rack ~now_ms = Quarantine.admits q ~key:rack ~now_ms
+let rack_report q ~rack ~now_ms ~ok = Quarantine.report q ~key:rack ~now_ms ~ok
+
+(* SLO-aware eviction gating: consult the live traffic plane's p99
+   sketch before starting a migration — when the tail is already over
+   the limit, adding a blackout would make a bad minute worse, so the
+   eviction defers until the next boundary. An empty sketch admits
+   (no traffic, no tail to protect). *)
+let slo_gate ~limit_ms sketch ~now_ms =
+  ignore now_ms;
+  Sketch.count sketch = 0 || Sketch.quantile sketch 0.99 <= limit_ms

@@ -1,0 +1,32 @@
+(** Glue between the health plane and the fleet engines' hooks.
+
+    {!Dapper_cluster.Fleet.config} ([f_node_gate] / [f_node_report] /
+    [f_slo_gate]) and {!Dapper_cluster.Fleet_xl.config} ([x_rack_gate]
+    / [x_rack_report]) take plain functions, so the engines never
+    depend on this library; these adapters are the one-line wirings:
+
+    {[
+      let q = Quarantine.create () in
+      { Fleet.default_config with
+        f_node_gate = Some (Admission.node_gate q);
+        f_node_report = Some (Admission.node_report q) }
+    ]} *)
+
+(** [Quarantine.admits] keyed by node id. *)
+val node_gate : Quarantine.t -> node:int -> now_ms:float -> bool
+
+(** [Quarantine.report] keyed by node id. *)
+val node_report : Quarantine.t -> node:int -> now_ms:float -> ok:bool -> unit
+
+(** [Quarantine.admits] keyed by rack id (for [Fleet_xl]). *)
+val rack_gate : Quarantine.t -> rack:int -> now_ms:float -> bool
+
+(** [Quarantine.report] keyed by rack id. *)
+val rack_report : Quarantine.t -> rack:int -> now_ms:float -> ok:bool -> unit
+
+(** SLO-aware eviction gate: admit while the live traffic p99 (from
+    the given quantile sketch) is at or under [limit_ms]; an empty
+    sketch always admits. Partially applied, it matches
+    [Fleet.config.f_slo_gate]. *)
+val slo_gate :
+  limit_ms:float -> Dapper_traffic.Sketch.t -> now_ms:float -> bool

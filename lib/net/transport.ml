@@ -34,6 +34,7 @@ type retry = {
   r_attempts : int;
   r_backoff_ns : float;
   r_multiplier : float;
+  r_jitter : Rng.t option;
 }
 
 type kind = Scp | Page_server
@@ -61,13 +62,14 @@ let degraded ~factor t =
     t_name = Printf.sprintf "%s (degraded x%g)" t.t_name factor;
     t_cost_factor = t.t_cost_factor *. factor }
 
-let retrying ?(attempts = 4) ?(backoff_ns = 2.0e6) ?(multiplier = 2.0) t =
+let retrying ?(attempts = 4) ?(backoff_ns = 2.0e6) ?(multiplier = 2.0) ?jitter t =
   if attempts < 1 then invalid_arg "Transport.retrying: attempts < 1";
   if multiplier < 1.0 then invalid_arg "Transport.retrying: multiplier < 1.0";
   { t with
     t_name = Printf.sprintf "retrying[%d](%s)" attempts t.t_name;
     t_retry = Some { r_attempts = attempts; r_backoff_ns = backoff_ns;
-                     r_multiplier = multiplier } }
+                     r_multiplier = multiplier;
+                     r_jitter = Option.map Rng.create jitter } }
 
 let name t = t.t_name
 let link t = t.t_link
@@ -77,20 +79,35 @@ let attempts t = match t.t_retry with Some r -> r.r_attempts | None -> 1
 
 (* Backoff before retry number [k] (0-based over failed attempts), on
    the deterministic simulated clock: the delay is charged as latency,
-   never slept. *)
+   never slept. With a jitter stream armed, the exponential envelope is
+   decorrelated by a seeded factor in [0.5, 1.5) — each call draws once,
+   so the schedule is replayable from the seed but two transports with
+   different seeds never resynchronize their retries. *)
 let backoff_ns t k =
   match t.t_retry with
   | None -> 0.0
-  | Some r -> r.r_backoff_ns *. (r.r_multiplier ** float_of_int k)
+  | Some r ->
+    let base = r.r_backoff_ns *. (r.r_multiplier ** float_of_int k) in
+    (match r.r_jitter with
+     | None -> base
+     | Some rng -> base *. (0.5 +. Rng.float rng))
 
-(* Total backoff charged by a policy that failed [failures] times and
-   retried after each failure but the last: the closed-form sum the
-   accounting must equal (no backoff follows the final attempt). *)
+(* Total backoff charged by a jitter-free policy that failed [failures]
+   times and retried after each failure but the last: the closed-form
+   geometric sum [sum_{k=0}^{failures-2} backoff * mult^k] (no backoff
+   follows the final attempt). Computed directly — not via {!backoff_ns},
+   which would advance a jitter stream — so with jitter armed this is
+   the deterministic *envelope center*: actual charged backoff lies in
+   [0.5, 1.5) times this value. *)
 let total_backoff_ns t ~failures =
-  let rec go k acc =
-    if k >= failures - 1 then acc else go (k + 1) (acc +. backoff_ns t k)
-  in
-  if failures <= 1 then 0.0 else go 0 0.0
+  match t.t_retry with
+  | None -> 0.0
+  | Some r ->
+    let rec go k acc =
+      if k >= failures - 1 then acc
+      else go (k + 1) (acc +. (r.r_backoff_ns *. (r.r_multiplier ** float_of_int k)))
+    in
+    if failures <= 1 then 0.0 else go 0 0.0
 
 let transfer_ns t bytes = Link.transfer_ns t.t_link bytes *. t.t_cost_factor
 let page_fetch_ns t bytes = Link.page_fetch_ns t.t_link bytes *. t.t_cost_factor

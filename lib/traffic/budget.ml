@@ -1,3 +1,5 @@
+module Metrics = Dapper_obs.Metrics
+
 type mechanism = Vanilla | Precopy | Hybrid | Postcopy
 
 let mechanism_name = function
@@ -26,15 +28,21 @@ let downtime_ms e = function
   | Precopy -> e.e_fixed_ms +. wire_ms e e.e_residual_bytes
   | Hybrid | Postcopy -> e.e_lazy_fixed_ms
 
-let choose ~budget_ms e =
+let m_budget_infeasible = Metrics.counter "traffic.budget.infeasible"
+
+let choose_detail ~budget_ms e =
   if budget_ms < 0.0 then invalid_arg "Budget.choose: negative budget";
   match
     List.find_opt (fun m -> downtime_ms e m <= budget_ms) all_mechanisms
   with
-  | Some m -> m
+  | Some m -> (m, true)
   | None ->
     (* nothing fits: least-bad blackout, earliest in preference order
        on ties (strict <, first kept) *)
-    List.fold_left
-      (fun best m -> if downtime_ms e m < downtime_ms e best then m else best)
-      Vanilla all_mechanisms
+    Metrics.inc m_budget_infeasible;
+    ( List.fold_left
+        (fun best m -> if downtime_ms e m < downtime_ms e best then m else best)
+        Vanilla all_mechanisms,
+      false )
+
+let choose ~budget_ms e = fst (choose_detail ~budget_ms e)

@@ -26,6 +26,7 @@ type t =
   | Node_lost of string
   | Commit_failed of string
   | Verify_failed of string
+  | Deadline_exceeded of stage * float
 
 let to_string = function
   | Pause_budget_exhausted -> "drain budget exhausted before all threads quiesced"
@@ -46,6 +47,9 @@ let to_string = function
   | Node_lost msg -> "node lost: " ^ msg
   | Commit_failed msg -> "commit failed: " ^ msg
   | Verify_failed msg -> "verification failed: " ^ msg
+  | Deadline_exceeded (st, ms) ->
+    Printf.sprintf "deadline exceeded: %s projected %.2f ms over budget"
+      (stage_name st) ms
 
 let stage_of = function
   | Pause_budget_exhausted | Not_at_equivalence_point _ | Process_exited -> Pause
@@ -55,12 +59,14 @@ let stage_of = function
   | Transfer_failed _ | Transfer_timeout _ | Checksum_mismatch _ -> Transfer
   | Restore_failed _ | Node_lost _ -> Restore
   | Source_lost _ | Commit_failed _ -> Commit
+  | Deadline_exceeded (st, _) -> st
 
 (* Exhaustive on purpose: adding an error constructor must force a
    decision here (no wildcard), because a misclassification either
    retries a structural failure forever or abandons a recoverable one. *)
 let retriable = function
   | Pause_budget_exhausted -> true
+  | Deadline_exceeded _ -> true
   | Active_function _ -> true
   | Transfer_timeout _ -> true
   | Checksum_mismatch _ -> true
@@ -95,7 +101,8 @@ let examples =
     Source_lost "example";
     Node_lost "example";
     Commit_failed "example";
-    Verify_failed "example" ]
+    Verify_failed "example";
+    Deadline_exceeded (Transfer, 12.5) ]
 
 exception Error of t
 

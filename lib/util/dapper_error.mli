@@ -59,6 +59,12 @@ type t =
           source and the migrated twin (migration oracle). Structural —
           never retriable — and attributed to the recode stage, whose
           compiler→rewriter contract it polices. *)
+  | Deadline_exceeded of stage * float
+      (** A watchdog cancelled [stage] before running it because its
+          projected cost (the carried ms) would blow the remaining pause
+          budget. Retriable: the projection came from transient link or
+          load conditions, and a later attempt (other transport, other
+          rack, healthier history) can fit. *)
 
 val to_string : t -> string
 

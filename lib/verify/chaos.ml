@@ -9,6 +9,7 @@ module Fault = Dapper_util.Fault
 module Rng = Dapper_util.Rng
 module Derr = Dapper_util.Dapper_error
 module Trace = Dapper_obs.Trace
+module Budget = Dapper_traffic.Budget
 
 type verdict = Committed | Rolled_back of Derr.t
 
@@ -19,6 +20,7 @@ type run_report = {
   cr_seed : int;
   cr_point : int;
   cr_transport : string;
+  cr_mechanism : Budget.mechanism option;
   cr_verdict : verdict;
   cr_faults : int;
   cr_retransmits : int;
@@ -49,9 +51,13 @@ let verdict_name = function
   | Rolled_back e -> "rolled-back (" ^ Derr.to_string e ^ ")"
 
 let run_report_to_string r =
-  Printf.sprintf "seed %d %s %s->%s @%d over %s: %s, %d faults, %d retransmits, +%.2f ms"
+  Printf.sprintf "seed %d %s %s->%s @%d over %s%s: %s, %d faults, %d retransmits, +%.2f ms"
     r.cr_seed r.cr_app (Arch.name r.cr_src) (Arch.name r.cr_dst) r.cr_point
-    r.cr_transport (verdict_name r.cr_verdict) r.cr_faults r.cr_retransmits
+    r.cr_transport
+    (match r.cr_mechanism with
+     | None -> ""
+     | Some m -> " [" ^ Budget.mechanism_name m ^ "]")
+    (verdict_name r.cr_verdict) r.cr_faults r.cr_retransmits
     r.cr_added_ms
 
 let failure_to_string f =
@@ -88,10 +94,20 @@ let probe_points ?(cap = 6) ~budget bin =
 
 (* The seeded transport menu: eager scp or lazy post-copy, sometimes
    over a congested link, always armed with bounded retransmission.
-   Drawn from the run's own stream so the choice is replayable. *)
-let pick_transport rng =
+   Drawn from the run's own stream so the choice is replayable. With a
+   forced [mechanism], the copy style is pinned instead (the eager/lazy
+   coin is still consumed, so the congestion draw and the fault schedule
+   stay aligned with the unpinned run of the same seed). *)
+let pick_transport ?mechanism rng =
+  let coin_eager = Rng.float rng < 0.5 in
+  let eager =
+    match mechanism with
+    | None -> coin_eager
+    | Some (Budget.Vanilla | Budget.Precopy) -> true
+    | Some (Budget.Hybrid | Budget.Postcopy) -> false
+  in
   let base =
-    if Rng.float rng < 0.5 then Transport.scp Netlink.infiniband
+    if eager then Transport.scp Netlink.infiniband
     else Transport.page_server Netlink.infiniband
   in
   let base =
@@ -106,7 +122,7 @@ let pick_transport rng =
    back to a source that is running and completes like the native run.
    Either way, no process is ever lost or corrupted. *)
 let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(pipeline = false)
-    ~spec ~seed ~src ~dst (c : Link.compiled) =
+    ?mechanism ~spec ~seed ~src ~dst (c : Link.compiled) =
   let src_bin = Link.binary_for c src and dst_bin = Link.binary_for c dst in
   let go () =
     (* ground truth *)
@@ -120,23 +136,41 @@ let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(pipeline = false)
     let points = probe_points ~budget src_bin in
     if points = 0 then fail "program reaches no equivalence point";
     let point = Rng.int rng points in
-    let transport = pick_transport rng in
+    let transport = pick_transport ?mechanism rng in
     let p = Process.load src_bin in
     if not (Oracle.advance_to_point p ~budget point) then
       fail "source exited before point %d on replay" point;
     let snap_src = Process.observe p in
     let fault = Fault.make ~seed spec in
-    let cfg =
+    let base_cfg =
       { (Session.default_config ~src_bin ~dst_bin) with
         Session.cfg_transport = transport;
         cfg_pause_budget = budget;
         cfg_commit_drain = true;
-        cfg_fault = Some fault;
         (* pipelined chaos: stream in page-sized chunks (corpus images
            are unscaled, so the default 256 KiB would be one chunk) —
            faults mid-stream must still commit-or-rollback *)
         cfg_pipeline = pipeline;
         cfg_chunk_bytes = (if pipeline then 4096 else 262_144) }
+    in
+    (* Mechanisms with a pre-copy prologue warm the destination first,
+       fault-free, with a no-op advance: the parked source makes no
+       progress, so [snap_src] stays authoritative and the invariant
+       checks below are unchanged. *)
+    let resident =
+      match mechanism with
+      | Some (Budget.Precopy | Budget.Hybrid) ->
+        let st =
+          Session.precopy base_cfg p ~advance:(fun _ -> ()) ~max_rounds:3
+            ~downtime_budget_ms:0.0
+        in
+        st.Session.pcs_resident
+      | _ -> []
+    in
+    let cfg =
+      { base_cfg with
+        Session.cfg_fault = Some fault;
+        cfg_resident_pages = resident }
     in
     (* driven stepwise so the session's transfer accounting survives a
        failed stage (Session.run would discard it with the session) *)
@@ -202,6 +236,7 @@ let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(pipeline = false)
       cr_seed = seed;
       cr_point = point;
       cr_transport = Transport.name transport;
+      cr_mechanism = mechanism;
       cr_verdict = verdict;
       cr_faults = Fault.injected fault;
       cr_retransmits = retransmits;
@@ -226,7 +261,8 @@ let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(pipeline = false)
 (* N seeded schedules swept over the whole example corpus, alternating
    migration direction: the chaos suite proper. Stops at the first
    invariant violation. *)
-let sweep ?fuel ?budget ?pipeline ?(progress = fun _ -> ()) ~spec ~seeds () =
+let sweep ?fuel ?budget ?pipeline ?mechanism ?(progress = fun _ -> ()) ~spec
+    ~seeds () =
   let corpus = Corpus.all () in
   let n_programs = List.length corpus in
   let zero =
@@ -241,7 +277,7 @@ let sweep ?fuel ?budget ?pipeline ?(progress = fun _ -> ()) ~spec ~seeds () =
         if seed / n_programs mod 2 = 0 then (Arch.X86_64, Arch.Aarch64)
         else (Arch.Aarch64, Arch.X86_64)
       in
-      match run_one ?fuel ?budget ?pipeline ~spec ~seed ~src ~dst c with
+      match run_one ?fuel ?budget ?pipeline ?mechanism ~spec ~seed ~src ~dst c with
       | Error _ as e -> e
       | Ok r ->
         progress r;

@@ -32,6 +32,8 @@ type run_report = {
   cr_seed : int;
   cr_point : int;          (** equivalence point migrated at *)
   cr_transport : string;
+  cr_mechanism : Dapper_traffic.Budget.mechanism option;
+      (** the forced copy mechanism, if one was pinned *)
   cr_verdict : verdict;
   cr_faults : int;         (** faults the schedule injected *)
   cr_retransmits : int;    (** transfer + page retransmissions recovered *)
@@ -69,11 +71,17 @@ val probe_points : ?cap:int -> budget:int -> Dapper_binary.Binary.t -> int
     Defaults: [fuel] 50M, [budget] 50M. With [pipeline], the transfer
     stage streams the image in page-sized chunks
     ({!Dapper.Session.config.cfg_pipeline}) — faults landing mid-stream
-    must still commit-or-rollback exactly like the sequential path. *)
+    must still commit-or-rollback exactly like the sequential path.
+    [mechanism] pins the copy style instead of drawing it from the run
+    stream (eager for vanilla/pre-copy, post-copy for lazy/hybrid;
+    pre-copy and hybrid warm the destination with fault-free rounds
+    first) — the congestion draw and fault schedule stay seed-aligned
+    with the unpinned run. *)
 val run_one :
   ?fuel:int ->
   ?budget:int ->
   ?pipeline:bool ->
+  ?mechanism:Dapper_traffic.Budget.mechanism ->
   spec:Dapper_util.Fault.spec ->
   seed:int ->
   src:Arch.t ->
@@ -88,6 +96,7 @@ val sweep :
   ?fuel:int ->
   ?budget:int ->
   ?pipeline:bool ->
+  ?mechanism:Dapper_traffic.Budget.mechanism ->
   ?progress:(run_report -> unit) ->
   spec:Dapper_util.Fault.spec ->
   seeds:int ->

@@ -345,7 +345,9 @@ let xl_config ~policy =
     x_page_servers_each = 4;
     x_slo_factor = 2.5;
     x_fault = None;
-    x_loss_every_ms = 0.0 }
+    x_loss_every_ms = 0.0;
+    x_rack_gate = None;
+    x_rack_report = None }
 
 let test_xl_deterministic () =
   let a = Fleet_xl.run (xl_config ~policy:Placement.First_fit) kinds in

@@ -23,4 +23,5 @@ let () =
      @ Test_verify.suites
      @ Test_chaos.suites
      @ Test_obs.suites
-     @ Test_traffic.suites)
+     @ Test_traffic.suites
+     @ Test_health.suites)

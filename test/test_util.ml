@@ -97,7 +97,8 @@ let test_error_classification () =
     | Dapper_error.Active_function _
     | Dapper_error.Transfer_timeout _
     | Dapper_error.Checksum_mismatch _
-    | Dapper_error.Node_lost _ -> true
+    | Dapper_error.Node_lost _
+    | Dapper_error.Deadline_exceeded _ -> true
     (* structural: retrying cannot help *)
     | Dapper_error.Not_at_equivalence_point _
     | Dapper_error.Process_exited
@@ -112,7 +113,7 @@ let test_error_classification () =
     | Dapper_error.Commit_failed _
     | Dapper_error.Verify_failed _ -> false
   in
-  check Alcotest.int "one example per constructor" 17
+  check Alcotest.int "one example per constructor" 18
     (List.length Dapper_error.examples);
   List.iter
     (fun e ->
