@@ -72,6 +72,14 @@ let tests () =
     { Scheduler.c_window_ms = Scheduler.default_window_ms; c_xeon_slots = 7; c_rpis = 3;
       c_rpi_slots_each = 3 }
   in
+  let qs_bin =
+    (Option.get (Dapper_verify.Corpus.find "mini-quickstart")).Link.cp_x86
+  in
+  let qs_log =
+    match Dapper_replay.Replayer.record qs_bin with
+    | Ok log -> log
+    | Error e -> failwith e
+  in
   Test.make_grouped ~name:"dapper" ~fmt:"%s/%s"
     [ Test.make ~name:"fig5-criu-dump" (Staged.stage (fun () ->
           ignore (Dapper_criu.Dump.dump p)));
@@ -104,6 +112,13 @@ let tests () =
       Test.make ~name:"fig6-interp-100k-instrs" (Staged.stage (fun () ->
           let q = Process.load c.Link.cp_arm in
           ignore (Process.run q ~max_instrs:100_000)));
+      (* Record/replay overhead: a full recorded execution (eqpoint walk
+         with per-anchor snapshots) and a validating replay of that
+         recording, against the plain fig6 interpretation baseline. *)
+      Test.make ~name:"replay-record" (Staged.stage (fun () ->
+          ignore (Dapper_replay.Replayer.record qs_bin)));
+      Test.make ~name:"replay-run" (Staged.stage (fun () ->
+          ignore (Dapper_replay.Replayer.replay ~log:qs_log qs_bin)));
       Test.make ~name:"fig7-crit-decode-encode" (Staged.stage (fun () ->
           List.iter
             (fun (name, bytes) ->

@@ -298,6 +298,132 @@ let run_sustained seeds events_file =
      Printf.printf "degradation-event trace written to %s\n%!" file);
   !ok
 
+(* ----- record / replay / shadow ----- *)
+
+module Replayer = Dapper_replay.Replayer
+module Shadow = Dapper_replay.Shadow
+module Rlog = Dapper_replay.Log
+
+let unknown_program name =
+  Printf.eprintf
+    "verify: unknown program %S (expected an example-corpus name, gen<SEED>, \
+     or a registry benchmark)\n%!"
+    name;
+  1
+
+let unknown_arch s =
+  Printf.eprintf "verify: unknown architecture %S (expected x86-64 or aarch64)\n%!" s;
+  1
+
+let with_program name arch f =
+  match resolve name with
+  | None -> unknown_program name
+  | Some (name, c) ->
+    (match Arch.of_name arch with
+     | None -> unknown_arch arch
+     | Some a -> f name c a)
+
+let run_replay_record name arch out =
+  with_program name arch (fun name c a ->
+      match Replayer.record (Link.binary_for c a) with
+      | Error e ->
+        Printf.printf "record %-16s FAILED %s\n%!" name e;
+        1
+      | Ok log ->
+        Printf.printf "record %-16s %s\n%!" name (Rlog.summary log);
+        (match out with
+         | None -> ()
+         | Some file ->
+           let oc = open_out_bin file in
+           output_string oc (Rlog.encode log);
+           close_out oc;
+           Printf.printf "log written to %s (%s)\n%!" file Rlog.file_name);
+        0)
+
+let run_replay_run name arch replay_arch log_file =
+  with_program name arch (fun name c a ->
+      match Arch.of_name replay_arch with
+      | None -> unknown_arch replay_arch
+      | Some b ->
+        let log =
+          match log_file with
+          | Some file ->
+            (try
+               let ic = open_in_bin file in
+               let s = really_input_string ic (in_channel_length ic) in
+               close_in ic;
+               Ok (Rlog.decode s)
+             with
+             | Rlog.Log_error e -> Error e
+             | Sys_error e -> Error e)
+          | None ->
+            (match Replayer.record (Link.binary_for c a) with
+             | Ok log -> Ok log
+             | Error e -> Error e)
+        in
+        (match log with
+         | Error e ->
+           Printf.printf "replay %-16s FAILED to obtain a log: %s\n%!" name e;
+           1
+         | Ok log ->
+           (match Replayer.replay ~log (Link.binary_for c b) with
+            | Ok o ->
+              let same = Arch.equal b log.Rlog.lg_arch in
+              let faithful =
+                (not same)
+                || Int64.equal (Rlog.fingerprint o.Replayer.ro_log)
+                     (Rlog.fingerprint log)
+              in
+              Printf.printf "replay %-16s %s%s\n%!" name
+                (Replayer.outcome_to_string o)
+                (if same then
+                   if faithful then " (log reproduced byte-identically)"
+                   else " (LOG FINGERPRINT MISMATCH)"
+                 else "");
+              if faithful then 0 else 1
+            | Error d ->
+              Printf.printf "replay %-16s DIVERGED %s\n%!" name
+                (Replayer.divergence_report d);
+              1)))
+
+let run_replay_shadow name max_points clean report_file =
+  match resolve name with
+  | None -> unknown_program name
+  | Some (name, c) ->
+    let buf = Buffer.create 256 in
+    let ok =
+      List.for_all
+        (fun (src, dst) ->
+          match
+            Oracle.check_shadow ~max_points ~corrupt:(not clean) ~src ~dst c
+          with
+          | Ok r ->
+            Printf.printf "shadow %-16s %s\n%!" name
+              (Oracle.shadow_report_to_string r);
+            List.iter
+              (fun rep ->
+                print_endline rep;
+                Buffer.add_string buf (rep ^ "\n"))
+              r.Oracle.sr_divergences;
+            true
+          | Error f ->
+            Printf.printf "shadow %-16s FAILED %s\n%!" name
+              (Oracle.failure_to_string f);
+            false)
+        directions
+    in
+    (match report_file with
+     | None -> ()
+     | Some file ->
+       let oc = open_out file in
+       output_string oc
+         (if Buffer.length buf = 0 then
+            "no divergences (clean shadows only)\n"
+          else Buffer.contents buf);
+       close_out oc;
+       Printf.printf "divergence reports written to %s\n%!" file);
+    if ok then 0 else 1
+
 (* ----- the full gate ----- *)
 
 let run_conformance count max_points =
@@ -421,6 +547,55 @@ let cmd =
         Term.(const (fun points -> if run_fastpath points then 0 else 1)
               $ Arg.(value & opt int 3 & info [ "points" ] ~docv:"K"
                        ~doc:"Equivalence points exercised per program/direction."));
+      Cmd.group
+        (Cmd.info "replay"
+           ~doc:"Record/replay plane: record nondeterministic inputs, replay \
+                 them on either ISA, and shadow-replay migrations with \
+                 divergence localization")
+        [ Cmd.v
+            (Cmd.info "record"
+               ~doc:"Record one complete execution's nondeterministic inputs \
+                     (syscall results, scheduler slices) interleaved with \
+                     equivalence-point snapshot anchors")
+            Term.(const run_replay_record $ name_arg
+                  $ Arg.(value & opt string "x86-64"
+                         & info [ "arch" ] ~docv:"ARCH"
+                             ~doc:"ISA to record on (x86-64 or aarch64).")
+                  $ Arg.(value & opt (some string) None
+                         & info [ "out" ] ~docv:"FILE"
+                             ~doc:"Write the encoded replay.img log to $(docv)."));
+          Cmd.v
+            (Cmd.info "run"
+               ~doc:"Re-execute a recording, validating every syscall result \
+                     and anchor snapshot (and, same-ISA, every scheduler \
+                     slice); a same-ISA replay must reproduce the log \
+                     byte-identically")
+            Term.(const run_replay_run $ name_arg
+                  $ Arg.(value & opt string "x86-64"
+                         & info [ "arch" ] ~docv:"ARCH"
+                             ~doc:"ISA to record on (ignored with --log).")
+                  $ Arg.(value & opt string "x86-64"
+                         & info [ "replay-arch" ] ~docv:"ARCH"
+                             ~doc:"ISA to replay on (x86-64 or aarch64).")
+                  $ Arg.(value & opt (some string) None
+                         & info [ "log" ] ~docv:"FILE"
+                             ~doc:"Replay a previously recorded log instead \
+                                   of recording afresh."));
+          Cmd.v
+            (Cmd.info "shadow"
+               ~doc:"Shadow-replay migrations against a recording, both \
+                     directions: clean migrations must match pointwise, and \
+                     (unless --clean) a deliberately corrupted rewritten \
+                     image must be localized to the first diverging \
+                     equivalence point and page")
+            Term.(const run_replay_shadow $ name_arg
+                  $ Arg.(value & opt int 2 & info [ "max-points" ] ~docv:"K"
+                           ~doc:"Migration points exercised per direction.")
+                  $ Arg.(value & flag & info [ "clean" ]
+                           ~doc:"Skip the corruption-injection runs.")
+                  $ Arg.(value & opt (some string) None
+                         & info [ "report" ] ~docv:"FILE"
+                             ~doc:"Write the divergence reports to $(docv).")) ];
       Cmd.v
         (Cmd.info "conformance"
            ~doc:"The full gate: static + mutations + example sweep + generated corpus")

@@ -370,8 +370,9 @@ let run config (jobs : Link.compiled list) =
        | Advance i -> advance q all_slots.(i));
       drain ()
   in
-  drain ();
-  leave_quantum ();
+  (* a raising eviction (Fleet_error) must not leak the open quantum
+     span: close it on every exit path *)
+  Fun.protect ~finally:(fun () -> leave_quantum ()) drain;
   let busy arch =
     Array.fold_left
       (fun acc s -> if s.s_node.Node.n_arch = arch then acc +. s.s_busy_ms else acc)

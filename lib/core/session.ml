@@ -213,22 +213,18 @@ let guard s f =
    charged sub-work (a lazy restore serving pages, a draining commit)
    ends at that sub-work's end if it exceeds the stage's own cost. *)
 let staged stage f (s : _ t) =
-  let tracing = Trace.enabled () in
-  if tracing then Trace.enter ~cat:"session" (Dapper_error.stage_name stage);
-  match f s with
-  | Ok s' as ok ->
-    let ms = match s'.s_log with r :: _ -> r.sr_ms | [] -> 0.0 in
-    Metrics.observe (stage_ms_hist stage) ms;
-    if stage = Dapper_error.Commit then Metrics.inc m_commits;
-    if tracing then Trace.leave ~dur_ns:(ms *. 1e6) ();
-    ok
-  | Error e ->
-    Metrics.inc m_stage_errors;
-    if tracing then Trace.leave ~args:[ ("error", Dapper_error.to_string e) ] ();
-    Error e
-  | exception exn ->
-    if tracing then Trace.leave ~args:[ ("exception", Printexc.to_string exn) ] ();
-    raise exn
+  Trace.with_span ~cat:"session" (Dapper_error.stage_name stage) (fun cl ->
+      match f s with
+      | Ok s' as ok ->
+        let ms = match s'.s_log with r :: _ -> r.sr_ms | [] -> 0.0 in
+        Metrics.observe (stage_ms_hist stage) ms;
+        if stage = Dapper_error.Commit then Metrics.inc m_commits;
+        Trace.set_dur cl (ms *. 1e6);
+        ok
+      | Error e ->
+        Metrics.inc m_stage_errors;
+        Trace.add_arg cl "error" (Dapper_error.to_string e);
+        Error e)
 
 (* ----- iterative pre-copy ----- *)
 

@@ -20,6 +20,11 @@ type thread = {
 
 type crash = { cr_tid : int; cr_pc : int64; cr_reason : string }
 
+type nondet = {
+  nd_syscall : tid:int -> sys:string -> int64 -> int64;
+  nd_sched : tid:int -> steps:int -> unit;
+}
+
 type t = {
   arch : Arch.t;
   mem : Memory.t;
@@ -31,6 +36,7 @@ type t = {
   mutable exit_code : int64 option;
   mutable crash : crash option;
   mutable total_instrs : int64;
+  mutable nondet : nondet option;
   decode_cache : (int64, Minstr.t * int) Hashtbl.t;
 }
 
@@ -128,7 +134,8 @@ let load binary =
   let t =
     { arch = binary.Binary.bin_arch; mem; binary; threads = []; next_tid = 0;
       brk = Layout.heap_base; stdout_buf = Buffer.create 256; exit_code = None;
-      crash = None; total_instrs = 0L; decode_cache = Hashtbl.create 4096 }
+      crash = None; total_instrs = 0L; nondet = None;
+      decode_cache = Hashtbl.create 4096 }
   in
   List.iter
     (fun (s : Binary.section) -> if not s.sec_exec then map_section mem s)
@@ -145,7 +152,7 @@ let reconstruct binary mem ~threads ~brk =
   let next_tid = 1 + List.fold_left (fun m th -> max m th.tid) 0 threads in
   { arch = binary.Binary.bin_arch; mem; binary; threads; next_tid; brk;
     stdout_buf = Buffer.create 256; exit_code = None; crash = None;
-    total_instrs = 0L; decode_cache = Hashtbl.create 4096 }
+    total_instrs = 0L; nondet = None; decode_cache = Hashtbl.create 4096 }
 
 (* ----- helpers ----- *)
 
@@ -252,6 +259,38 @@ let observe t =
     sn_stdout = Buffer.contents t.stdout_buf;
     sn_exit = t.exit_code }
 
+(* Per-page digests of the same pages [observe] folds (data/heap/TLS,
+   flag word masked), each from a fresh offset basis — the localization
+   companion to [observe]: when two snapshots differ, diffing the two
+   page lists names the diverging pages. *)
+let observe_pages t =
+  let flag = t.binary.Binary.bin_anchors.Binary.a_flag in
+  let flag_page = Layout.page_of_addr flag in
+  let flag_off = Layout.page_offset flag in
+  let digest ~mask_flag pn page =
+    let h = ref (fnv_int fnv_offset pn) in
+    for idx = 0 to Bytes.length page - 1 do
+      let b =
+        if mask_flag && idx >= flag_off && idx < flag_off + 8 then 0
+        else Char.code (Bytes.unsafe_get page idx)
+      in
+      h := fnv_byte !h b
+    done;
+    !h
+  in
+  Array.fold_left
+    (fun acc pn ->
+      match vma_kind_of_page t pn with
+      | Some ((Vma_data | Vma_heap | Vma_tls) as kind) ->
+        (match Memory.page_contents t.mem pn with
+         | Some page ->
+           (kind, pn, digest ~mask_flag:(pn = flag_page) pn page) :: acc
+         | None -> acc)
+      | Some Vma_code | Some (Vma_stack _) | None -> acc)
+    []
+    (Memory.page_numbers t.mem)
+  |> List.rev
+
 let state_equal a b =
   Int64.equal a.sn_data b.sn_data
   && Int64.equal a.sn_heap b.sn_heap
@@ -345,11 +384,20 @@ let eval_unop (op : Minstr.unop) a =
    syscall so it retries when rescheduled). *)
 let exec_syscall t (th : thread) num =
   let arg i = th.regs.(List.nth (Arch.arg_regs t.arch) i) in
-  let ret v = th.regs.(Arch.ret_reg t.arch) <- v in
+  (* Completed syscall results flow through the nondet tap: a recorder
+     logs the value unchanged, a replayer validates it (or substitutes
+     it, for the genuinely nondeterministic clock). Blocked paths never
+     reach the tap — the retry that eventually completes does. *)
+  let tap sys v =
+    match t.nondet with None -> v | Some h -> h.nd_syscall ~tid:th.tid ~sys v
+  in
+  let ret sys v = th.regs.(Arch.ret_reg t.arch) <- tap sys v in
   match Arch.syscall_of_number t.arch num with
   | None -> raise (Exec_error (Printf.sprintf "unknown syscall %d" num))
   | Some `Exit ->
     let code = arg 0 in
+    (* record-only: the exit code is program state, never substituted *)
+    ignore (tap "exit" code);
     if th.tid = 0 then begin
       t.exit_code <- Some code;
       List.iter (fun o -> o.status <- Exited code) t.threads
@@ -359,7 +407,7 @@ let exec_syscall t (th : thread) num =
   | Some `Write ->
     let addr = arg 1 and len = Int64.to_int (arg 2) in
     Buffer.add_string t.stdout_buf (Memory.read_bytes t.mem addr len);
-    ret (Int64.of_int len);
+    ret "write" (Int64.of_int len);
     true
   | Some `Sbrk ->
     let delta = Int64.to_int (arg 0) in
@@ -368,12 +416,12 @@ let exec_syscall t (th : thread) num =
       map_zero_range t.mem old delta;
       t.brk <- old +% Int64.of_int delta
     end;
-    ret old;
+    ret "sbrk" old;
     true
   | Some `Spawn ->
     let fn = arg 0 and a0 = arg 1 in
     if t.next_tid >= Layout.max_threads then begin
-      ret (-1L);
+      ret "spawn" (-1L);
       true
     end
     else begin
@@ -382,26 +430,26 @@ let exec_syscall t (th : thread) num =
       let child = make_thread t ~tid ~pc:fn ~stub:t.binary.bin_anchors.a_thread_exit_stub in
       child.regs.(List.hd (Arch.arg_regs t.arch)) <- a0;
       t.threads <- t.threads @ [ child ];
-      ret (Int64.of_int tid);
+      ret "spawn" (Int64.of_int tid);
       true
     end
   | Some `Join ->
     let target = Int64.to_int (arg 0) in
     (match List.find_opt (fun o -> o.tid = target) t.threads with
      | Some { status = Exited v; _ } ->
-       ret v;
+       ret "join" v;
        true
      | Some _ ->
        th.status <- Blocked_join target;
        false
      | None ->
-       ret (-1L);
+       ret "join" (-1L);
        true)
   | Some `Mutex_lock ->
     let addr = arg 0 in
     if Int64.equal (Memory.read_u64 t.mem addr) 0L then begin
       Memory.write_u64 t.mem addr (Int64.of_int (th.tid + 1));
-      ret 0L;
+      ret "lock" 0L;
       true
     end
     else begin
@@ -410,13 +458,13 @@ let exec_syscall t (th : thread) num =
     end
   | Some `Mutex_unlock ->
     Memory.write_u64 t.mem (arg 0) 0L;
-    ret 0L;
+    ret "unlock" 0L;
     true
   | Some `Clock ->
-    ret t.total_instrs;
+    ret "clock" t.total_instrs;
     true
   | Some `Yield ->
-    ret 0L;
+    ret "yield" 0L;
     true
 
 let step_thread t (th : thread) =
@@ -532,6 +580,12 @@ let run t ~max_instrs =
                  step_thread t th;
                  incr n
                done;
+               (* scheduler decision: this thread retired !n instructions
+                  before the round-robin moved on — the interleaving a
+                  same-ISA replay must reproduce *)
+               (match t.nondet with
+                | Some h when !n > 0 -> h.nd_sched ~tid:th.tid ~steps:!n
+                | _ -> ());
                if !n > 0 then progressed := true;
                budget := !budget - !n
              with

@@ -27,6 +27,24 @@ type thread = {
 
 type crash = { cr_tid : int; cr_pc : int64; cr_reason : string }
 
+(** Tap on the process's nondeterministic inputs (the record/replay
+    plane's hook). [nd_syscall] sees every {e completed} syscall's result
+    value and returns the value actually written to the return register:
+    a recorder returns it unchanged, a replayer validates it against a
+    log or substitutes the logged value (the instruction-count clock is
+    the one input that legally differs between a live and a replayed
+    run). Blocked syscall attempts never reach the tap — the retry that
+    completes does. The ["exit"] event is record-only: its value is
+    program state and the returned value is ignored. [nd_sched] fires
+    after every interpreter slice with the instructions the thread
+    retired before the round-robin moved on — the interleaving decision
+    a same-ISA replay reproduces (slice lengths are ISA-specific, so
+    cross-ISA replay ignores them). *)
+type nondet = {
+  nd_syscall : tid:int -> sys:string -> int64 -> int64;
+  nd_sched : tid:int -> steps:int -> unit;
+}
+
 type t = {
   arch : Arch.t;
   mem : Memory.t;
@@ -38,6 +56,7 @@ type t = {
   mutable exit_code : int64 option;
   mutable crash : crash option;
   mutable total_instrs : int64;
+  mutable nondet : nondet option;  (** record/replay tap; [None] = untapped *)
   decode_cache : (int64, Minstr.t * int) Hashtbl.t;
 }
 
@@ -109,6 +128,12 @@ val observe : t -> snapshot
 val state_equal : snapshot -> snapshot -> bool
 
 val snapshot_to_string : snapshot -> string
+
+(** Per-page digests of exactly the pages {!observe} folds (data, heap
+    and TLS; transformation-flag word masked), in page-number order —
+    diffing two processes' lists names the pages behind a snapshot
+    mismatch. *)
+val observe_pages : t -> (vma_kind * int * int64) list
 
 (** ptrace-like control interface. *)
 

@@ -220,12 +220,16 @@ let transmit t ?fault ~stats ~bytes files =
   let rec go k =
     stats.tx_attempts <- stats.tx_attempts + 1;
     Metrics.inc m_tx_attempts;
-    Trace.enter ~cat:"transport" "tx-attempt"
-      ~args:[ ("attempt", string_of_int (k + 1)) ];
-    cost := !cost +. transfer_ns t bytes;
-    Trace.advance (transfer_ns t bytes);
-    let outcome = transmit_once ?fault ~stats ~manifest files cost in
-    Trace.leave ~args:[ ("outcome", outcome_tag outcome) ] ();
+    let outcome =
+      Trace.with_span ~cat:"transport" "tx-attempt"
+        ~args:[ ("attempt", string_of_int (k + 1)) ]
+        (fun cl ->
+          cost := !cost +. transfer_ns t bytes;
+          Trace.advance (transfer_ns t bytes);
+          let outcome = transmit_once ?fault ~stats ~manifest files cost in
+          Trace.add_arg cl "outcome" (outcome_tag outcome);
+          outcome)
+    in
     match outcome with
     | Delivered received -> Ok (received, !cost)
     | (Lost _ | Damaged _) as failed ->

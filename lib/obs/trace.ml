@@ -83,6 +83,37 @@ let span ?cat ?args name f =
     Fun.protect ~finally:(fun () -> leave ()) f
   end
 
+(* Exception-safe replacement for manual enter/leave pairing at sites
+   that only know the span's modeled duration or closing args at the
+   end: the closer accumulates them, and the span closes exactly once on
+   every exit path. On an exception the span closes with an "exception"
+   arg before re-raising, so the stack stays well-formed and the fault
+   surfaces at the raise site, not as a later "no open span". *)
+type closer = {
+  mutable cl_dur_ns : float option;
+  mutable cl_args : (string * string) list; (* newest first *)
+}
+
+let set_dur cl ns = cl.cl_dur_ns <- Some ns
+let add_arg cl k v = cl.cl_args <- (k, v) :: cl.cl_args
+
+let with_span ?cat ?args name f =
+  let cl = { cl_dur_ns = None; cl_args = [] } in
+  if not st.enabled then f cl
+  else begin
+    enter ?cat ?args name;
+    match f cl with
+    | v ->
+      leave ?dur_ns:cl.cl_dur_ns ~args:(List.rev cl.cl_args) ();
+      v
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      leave ?dur_ns:cl.cl_dur_ns
+        ~args:(List.rev (("exception", Printexc.to_string exn) :: cl.cl_args))
+        ();
+      Printexc.raise_with_backtrace exn bt
+  end
+
 let events () = List.rev st.events
 let open_spans () = List.length st.stack
 

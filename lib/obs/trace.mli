@@ -63,6 +63,30 @@ val leaf :
     raises. *)
 val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 
+(** {2 Exception-safe spans with late duration/args}
+
+    Manual {!enter}/{!leave} pairing leaks the open span when the
+    instrumented code raises — the next [leave] then fails far from the
+    real fault. [with_span] is the safe replacement for sites that only
+    know the span's modeled duration or closing args at the end: the
+    [closer] handle accumulates them ({!set_dur}, {!add_arg}) and the
+    span closes exactly once on every exit path. If [f] raises, the span
+    closes with an [("exception", ...)] arg appended and the exception
+    is re-raised with its backtrace intact. *)
+
+type closer
+
+(** Set the span's modeled duration (ns), applied at close like
+    {!leave}[ ~dur_ns]. Last call wins. *)
+val set_dur : closer -> float -> unit
+
+(** Append one closing arg (recorded on the span's End event, in call
+    order). *)
+val add_arg : closer -> string -> string -> unit
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (closer -> 'a) -> 'a
+
 (** Recorded events, oldest first. *)
 val events : unit -> event list
 

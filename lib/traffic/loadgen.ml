@@ -238,14 +238,14 @@ let run c scfg p mech =
       ls_outcome = outcome }
 
 let fingerprint_line st =
-  let q s p = Sketch.quantile s p in
+  (* A zero-request window (rate or duration rounded to no arrivals)
+     leaves both sketches empty; print 0.0 rather than die on it. *)
+  let q s p = Option.value (Sketch.quantile_opt s p) ~default:0.0 in
   Printf.sprintf
     "%s n=%d stalled=%d faulted=%d blackout=%.6f p50=%.6f p99=%.6f p999=%.6f \
      mig-p50=%.6f mig-p99=%.6f mig-p999=%.6f fp=%016Lx"
     (Budget.mechanism_name st.ls_mechanism)
     st.ls_requests st.ls_stalled st.ls_faulted st.ls_blackout_ms
     (q st.ls_all 0.5) (q st.ls_all 0.99) (q st.ls_all 0.999)
-    (if Sketch.count st.ls_during = 0 then 0.0 else q st.ls_during 0.5)
-    (if Sketch.count st.ls_during = 0 then 0.0 else q st.ls_during 0.99)
-    (if Sketch.count st.ls_during = 0 then 0.0 else q st.ls_during 0.999)
+    (q st.ls_during 0.5) (q st.ls_during 0.99) (q st.ls_during 0.999)
     st.ls_fingerprint

@@ -64,12 +64,12 @@ let buckets t =
 let bucket_value t k =
   2.0 *. (t.k_gamma ** float_of_int k) /. (t.k_gamma +. 1.0)
 
-let quantile t q =
+let quantile_opt t q =
   if q < 0.0 || q > 1.0 then invalid_arg "Sketch.quantile: q outside [0, 1]";
-  if t.k_count = 0 then nan
+  if t.k_count = 0 then None
   else begin
     let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.k_count))) in
-    if rank <= t.k_zero then 0.0
+    if rank <= t.k_zero then Some 0.0
     else begin
       let remaining = ref (rank - t.k_zero) in
       let result = ref t.k_max in
@@ -83,9 +83,14 @@ let quantile t q =
              end)
            (buckets t)
        with Exit -> ());
-      Float.min t.k_max (Float.max t.k_min !result)
+      Some (Float.min t.k_max (Float.max t.k_min !result))
     end
   end
+
+let quantile t q =
+  match quantile_opt t q with
+  | Some v -> v
+  | None -> invalid_arg "Sketch.quantile: empty sketch (use quantile_opt)"
 
 let merge a b =
   if a.k_rel_err <> b.k_rel_err then

@@ -36,9 +36,16 @@ val max_value : t -> float
 
 (** [quantile t q] for [q] in [0, 1]: the bucket midpoint estimate of
     the nearest-rank q-quantile (rank [max 1 (ceil (q * count))]),
-    clamped into [[min_value, max_value]]. [nan] while empty; raises
-    [Invalid_argument] if [q] is outside [0, 1]. *)
+    clamped into [[min_value, max_value]]. Raises [Invalid_argument] if
+    [q] is outside [0, 1] {e or if the sketch is empty} — an empty
+    window has no quantiles, and the old silent [nan] leaked into
+    fingerprint lines as [p50=nan]. Callers that can legitimately see
+    an empty window use {!quantile_opt}. *)
 val quantile : t -> float -> float
+
+(** [None] while empty, otherwise [Some (quantile t q)]. Still raises
+    [Invalid_argument] if [q] is outside [0, 1]. *)
+val quantile_opt : t -> float -> float option
 
 (** Fresh sketch holding both inputs' values. Exact bucket-wise
     addition — associative, commutative, and equal (as {!buckets}) to

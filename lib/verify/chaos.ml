@@ -10,6 +10,8 @@ module Rng = Dapper_util.Rng
 module Derr = Dapper_util.Dapper_error
 module Trace = Dapper_obs.Trace
 module Budget = Dapper_traffic.Budget
+module Replayer = Dapper_replay.Replayer
+module Shadow = Dapper_replay.Shadow
 
 type verdict = Committed | Rolled_back of Derr.t
 
@@ -34,6 +36,7 @@ type failure = {
   cf_dst : Arch.t;
   cf_seed : int;
   cf_what : string;
+  cf_shadow : string option;
 }
 
 type summary = {
@@ -61,8 +64,9 @@ let run_report_to_string r =
     r.cr_added_ms
 
 let failure_to_string f =
-  Printf.sprintf "seed %d %s %s->%s: %s" f.cf_seed f.cf_app (Arch.name f.cf_src)
+  Printf.sprintf "seed %d %s %s->%s: %s%s" f.cf_seed f.cf_app (Arch.name f.cf_src)
     (Arch.name f.cf_dst) f.cf_what
+    (match f.cf_shadow with None -> "" | Some r -> "\n" ^ r)
 
 let summary_to_string s =
   Printf.sprintf
@@ -124,6 +128,8 @@ let pick_transport ?mechanism rng =
 let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(pipeline = false)
     ?mechanism ~spec ~seed ~src ~dst (c : Link.compiled) =
   let src_bin = Link.binary_for c src and dst_bin = Link.binary_for c dst in
+  (* divergence-localizing autopsy attached to a state-mismatch failure *)
+  let shadow = ref None in
   let go () =
     (* ground truth *)
     let expected_code, expected_out =
@@ -192,8 +198,18 @@ let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(pipeline = false)
       | Ok r ->
         let q = r.Session.r_process in
         (* commit acknowledged: the destination owns the process *)
-        if not (Process.state_equal snap_src (Process.observe q)) then
-          fail "committed destination differs from the paused source";
+        if not (Process.state_equal snap_src (Process.observe q)) then begin
+          (* autopsy before failing: record a reference source run and
+             shadow the still-unrun destination against it, so the
+             failure names the first diverging anchor and pages instead
+             of just "differs" *)
+          (match Replayer.record ~budget src_bin with
+          | Ok log when point < Dapper_replay.Log.points log ->
+            let rep = Shadow.check ~budget ~log ~from_point:point q in
+            shadow := Some (Shadow.report_to_string rep)
+          | Ok _ | Error _ -> ());
+          fail "committed destination differs from the paused source"
+        end;
         if not (Process.all_quiescent p) then
           fail "committed migration left the source running";
         (match Process.run_to_completion q ~fuel with
@@ -256,7 +272,7 @@ let run_one ?(fuel = 50_000_000) ?(budget = 50_000_000) ?(pipeline = false)
   | report -> Ok report
   | exception Fail what ->
     Error { cf_app = c.Link.cp_app; cf_src = src; cf_dst = dst; cf_seed = seed;
-            cf_what = what }
+            cf_what = what; cf_shadow = !shadow }
 
 (* N seeded schedules swept over the whole example corpus, alternating
    migration direction: the chaos suite proper. Stops at the first

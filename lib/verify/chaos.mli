@@ -47,6 +47,12 @@ type failure = {
   cf_dst : Arch.t;
   cf_seed : int;
   cf_what : string;
+  cf_shadow : string option;
+      (** divergence-localizing autopsy: when a committed destination's
+          state differs from the paused source, the harness records a
+          reference source run and shadow-replays the destination
+          against it ({!Dapper_replay.Shadow.check}); the report names
+          the first diverging anchor, thread and pages *)
 }
 
 type summary = {

@@ -388,3 +388,157 @@ let check_fastpaths ?(budget = 50_000_000) ?(points = 3) ~src ~dst
   | r -> Ok r
   | exception Fail (point, what) ->
     Error { fl_app = c.Link.cp_app; fl_src = src; fl_dst = dst; fl_point = point; fl_what = what }
+
+(* ----- shadow replay: divergence-localizing verification ----- *)
+
+module Replayer = Dapper_replay.Replayer
+module Shadow = Dapper_replay.Shadow
+module Rlog = Dapper_replay.Log
+module Restore = Dapper_criu.Restore
+module Layout = Dapper_binary.Layout
+
+type shadow_report = {
+  sr_app : string;
+  sr_src : Arch.t;
+  sr_dst : Arch.t;
+  sr_points : int;
+  sr_clean : int;
+  sr_corrupted : int;
+  sr_divergences : string list;
+}
+
+let shadow_report_to_string r =
+  Printf.sprintf
+    "%s %s->%s shadows: %d migration points, %d clean matches, %d corruptions \
+     localized"
+    r.sr_app (Arch.name r.sr_src) (Arch.name r.sr_dst) r.sr_points r.sr_clean
+    r.sr_corrupted
+
+(* Pick an in-dump data/heap/tls page of [image] to corrupt, steering
+   clear of the page holding the transformation flag (its word is masked
+   out of observation, so a flip there could legally go unseen). *)
+let corruption_target (image : Images.image_set) (dst_bin : Binary.t) =
+  let flag_page =
+    Layout.page_of_addr dst_bin.Binary.bin_anchors.Binary.a_flag
+  in
+  let kind_of pn =
+    List.find_map
+      (fun (v : Images.vma) ->
+        let s = Layout.page_of_addr v.Images.v_start in
+        if pn >= s && pn < s + v.Images.v_npages then Some v.Images.v_kind
+        else None)
+      image.Images.is_mm.Images.mm_vmas
+  in
+  let dumped =
+    List.concat_map
+      (fun (pm : Images.pagemap_entry) ->
+        if not pm.Images.pm_in_dump then []
+        else
+          List.init pm.Images.pm_npages (fun i ->
+              Layout.page_of_addr pm.Images.pm_vaddr + i))
+      image.Images.is_pagemap
+  in
+  let observable pn =
+    pn <> flag_page
+    &&
+    match kind_of pn with
+    | Some (Images.Vk_data | Images.Vk_heap | Images.Vk_tls) -> true
+    | _ -> false
+  in
+  List.find_opt observable dumped
+
+let check_shadow ?(budget = 50_000_000) ?(max_points = 3) ?(corrupt = true) ~src
+    ~dst (c : Link.compiled) =
+  let src_bin = Link.binary_for c src and dst_bin = Link.binary_for c dst in
+  let go () =
+    (* the reference recording: one complete source-ISA run *)
+    let log =
+      match Replayer.record ~budget src_bin with
+      | Ok log -> log
+      | Error e -> fail (-1) "recording failed: %s" e
+    in
+    if Rlog.points log = 0 then fail (-1) "program reaches no equivalence point";
+    let points = min max_points (Rlog.points log) in
+    let clean = ref 0 and corrupted = ref 0 and reports = ref [] in
+    let parked k =
+      let p = Process.load src_bin in
+      if not (advance_to_point p ~budget k) then
+        fail k "source exited before reaching point %d on replay" k;
+      p
+    in
+    let step k what = function
+      | Ok s -> s
+      | Error e -> fail k "%s failed: %s" what (Derr.to_string e)
+    in
+    for k = 0 to points - 1 do
+      (* a clean migration's destination must shadow-replay to MATCH *)
+      let p = parked k in
+      let cfg =
+        { (Session.default_config ~src_bin ~dst_bin) with
+          Session.cfg_pause_budget = budget }
+      in
+      let s = Session.start cfg p in
+      let s = step k "pause" (Session.pause s) in
+      let s = step k "dump" (Session.dump s) in
+      let s = step k "recode" (Session.recode s) in
+      let s = step k "transfer" (Session.transfer s) in
+      let s = step k "restore" (Session.restore s) in
+      let s = step k "commit" (Session.commit s) in
+      let q = (Session.finish s).Session.r_process in
+      (match (Shadow.check ~budget ~log ~from_point:k q).Shadow.sh_verdict with
+      | Shadow.Match -> incr clean
+      | Shadow.Diverged d ->
+        fail k "clean migration's shadow diverged: %s"
+          (Replayer.divergence_to_string d));
+      if corrupt then begin
+        (* corrupt one observable page of the rewritten image, restore it
+           outside the session (whose commit check would refuse it), and
+           require the shadow to localize the damage to this anchor and
+           page *)
+        let p = parked k in
+        let image = step k "dump" (Dump.dump p) in
+        let rewritten, _ =
+          step k "rewrite" (Rewrite.rewrite image ~src:src_bin ~dst:dst_bin)
+        in
+        let pn =
+          match corruption_target rewritten dst_bin with
+          | Some pn -> pn
+          | None -> fail k "rewritten image has no observable page to corrupt"
+        in
+        let contents =
+          match Images.read_page rewritten pn with
+          | Some s -> Bytes.of_string s
+          | None -> fail k "page 0x%x vanished from the rewritten image" pn
+        in
+        let off = 64 in
+        Bytes.set contents off
+          (Char.chr (Char.code (Bytes.get contents off) lxor 0x5a));
+        let evil = Images.write_page rewritten pn (Bytes.to_string contents) in
+        let q = step k "restore" (Restore.restore evil dst_bin) in
+        (match (Shadow.check ~budget ~log ~from_point:k q) with
+        | { Shadow.sh_verdict = Shadow.Match; _ } ->
+          fail k "corrupted restore went undetected by the shadow"
+        | { Shadow.sh_verdict = Shadow.Diverged d; _ } as rep ->
+          if d.Replayer.dv_point <> k then
+            fail k "corruption injected at point %d but localized at %d" k
+              d.Replayer.dv_point;
+          if not (List.exists (fun (_, p') -> p' = pn) d.Replayer.dv_pages) then
+            fail k "divergence report does not name the corrupted page 0x%x" pn;
+          incr corrupted;
+          reports := Shadow.report_to_string rep :: !reports)
+      end
+    done;
+    { sr_app = c.Link.cp_app;
+      sr_src = src;
+      sr_dst = dst;
+      sr_points = points;
+      sr_clean = !clean;
+      sr_corrupted = !corrupted;
+      sr_divergences = List.rev !reports }
+  in
+  match go () with
+  | r -> Ok r
+  | exception Fail (point, what) ->
+    Error
+      { fl_app = c.Link.cp_app; fl_src = src; fl_dst = dst; fl_point = point;
+        fl_what = what }

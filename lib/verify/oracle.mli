@@ -108,3 +108,38 @@ val check_fastpaths :
   dst:Arch.t ->
   Link.compiled ->
   (fastpath_report, failure) result
+
+(** {1 Shadow replay}
+
+    Divergence-localizing verification built on the record/replay plane
+    ({!Dapper_replay}): record one complete source-ISA run, then at each
+    of the first [max_points] equivalence points run a clean migration
+    and require the committed destination to {e shadow-replay} the
+    recording to a match ({!Dapper_replay.Shadow.check}). With [corrupt]
+    (the default), each point additionally gets a deliberately damaged
+    migration — one observable page of the rewritten image is flipped
+    before an out-of-session restore — and the shadow must report its
+    first divergence at exactly that anchor, naming the corrupted page,
+    rather than a terminal pass/fail. *)
+
+type shadow_report = {
+  sr_app : string;
+  sr_src : Arch.t;
+  sr_dst : Arch.t;
+  sr_points : int;     (** migration points exercised *)
+  sr_clean : int;      (** clean migrations whose shadow matched *)
+  sr_corrupted : int;  (** corrupted restores localized correctly *)
+  sr_divergences : string list;
+      (** one {!Dapper_replay.Shadow.report_to_string} per corrupted run *)
+}
+
+val shadow_report_to_string : shadow_report -> string
+
+val check_shadow :
+  ?budget:int ->
+  ?max_points:int ->
+  ?corrupt:bool ->
+  src:Arch.t ->
+  dst:Arch.t ->
+  Link.compiled ->
+  (shadow_report, failure) result

@@ -23,5 +23,6 @@ let () =
      @ Test_verify.suites
      @ Test_chaos.suites
      @ Test_obs.suites
+     @ Test_replay.suites
      @ Test_traffic.suites
      @ Test_health.suites)

@@ -86,6 +86,45 @@ let test_trace_clock_semantics () =
   Trace.stop ();
   Trace.reset ()
 
+(* Regression: enter/leave pairing used to leak the open span when the
+   instrumented code raised — the next leave then closed the wrong span
+   (or failed) far from the real fault. with_span must close exactly
+   once on every exit path, recording the exception as a closing arg. *)
+let test_with_span_closes_on_raise () =
+  Trace.start ();
+  let exception Boom in
+  check Alcotest.bool "exception re-raised" true
+    (match
+       Trace.with_span "outer" (fun _ ->
+           Trace.with_span "doomed" (fun c ->
+               Trace.set_dur c 4.0e6;
+               Trace.add_arg c "stage" "mid";
+               raise Boom))
+     with
+    | exception Boom -> true
+    | () -> false);
+  check Alcotest.int "no span leaked by the raise" 0 (Trace.open_spans ());
+  Trace.stop ();
+  let events = Trace.events () in
+  check_well_formed events;
+  (* the doomed span's End event carries the accumulated args plus the
+     appended exception marker, and its set_dur still moved the clock *)
+  (match
+     List.find_opt
+       (fun (e : Trace.event) ->
+         e.Trace.ev_phase = Trace.End && e.Trace.ev_name = "doomed")
+       events
+   with
+  | None -> Alcotest.fail "doomed span has no End event"
+  | Some e ->
+    check Alcotest.bool "closing arg recorded" true
+      (List.mem_assoc "stage" e.Trace.ev_args);
+    check Alcotest.bool "exception arg appended" true
+      (List.mem_assoc "exception" e.Trace.ev_args));
+  check (Alcotest.float 0.0) "set_dur applied despite the raise" 4.0
+    (Trace.total_ms "doomed");
+  Trace.reset ()
+
 let test_traced_migration_well_formed () =
   Trace.start ();
   let r = migrate_once () in
@@ -280,6 +319,8 @@ let suites =
       [ Alcotest.test_case "trace disabled is a no-op" `Quick
           test_trace_disabled_is_noop;
         Alcotest.test_case "trace clock semantics" `Quick test_trace_clock_semantics;
+        Alcotest.test_case "with_span closes on raise" `Quick
+          test_with_span_closes_on_raise;
         Alcotest.test_case "traced migration well-formed" `Quick
           test_traced_migration_well_formed;
         Alcotest.test_case "metrics registry" `Quick test_metrics_registry;

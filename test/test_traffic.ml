@@ -106,8 +106,21 @@ let qcheck_sketch_merge_associative =
 
 let test_sketch_edges () =
   let s = Sketch.create () in
-  check Alcotest.bool "empty quantile is nan" true
-    (Float.is_nan (Sketch.quantile s 0.5));
+  (try
+     ignore (Sketch.quantile s 0.5);
+     Alcotest.fail "empty quantile accepted"
+   with Invalid_argument _ -> ());
+  check Alcotest.bool "empty quantile_opt is None" true
+    (Sketch.quantile_opt s 0.5 = None);
+  (* a single sample answers every quantile with itself *)
+  let one = Sketch.create () in
+  Sketch.add one 7.25;
+  check (Alcotest.float 1e-6) "single-sample p0" 7.25 (Sketch.quantile one 0.0);
+  check (Alcotest.float 1e-6) "single-sample p50" 7.25 (Sketch.quantile one 0.5);
+  check (Alcotest.float 1e-6) "single-sample p100" 7.25
+    (Sketch.quantile one 1.0);
+  check Alcotest.bool "single-sample quantile_opt is Some" true
+    (Sketch.quantile_opt one 0.5 = Some (Sketch.quantile one 0.5));
   Sketch.add s 0.0;
   check (Alcotest.float 0.0) "zero-only p50" 0.0 (Sketch.quantile s 0.5);
   (try
